@@ -1,0 +1,331 @@
+//! `r`-bounded, `t`-late DoS adversaries.
+//!
+//! The adversary may block up to an `r`-fraction of the current nodes per
+//! round, deciding only from topology that is at least `t` rounds old
+//! (enforced by [`TopologyHistory`] — the strategy code never sees fresher
+//! state). The strategy suite approximates the universally quantified
+//! adversary of Theorem 6 with the strongest concrete attacks we know
+//! against the group construction, plus a current-topology (0-late)
+//! control that demonstrates the paper's impossibility remark: once the
+//! adversary knows the topology, isolating a node only requires blocking
+//! its polylogarithmically many neighbors.
+
+use crate::lateness::{TopologyHistory, TopologySnapshot};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simnet::rng::NodeRng;
+use simnet::{BlockSet, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Blocking strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DosStrategy {
+    /// Block a uniformly random `r`-fraction of the stale node list.
+    Random,
+    /// Isolate a victim: block the victim's entire (stale) neighborhood,
+    /// then spend leftover budget on further victims' neighborhoods.
+    IsolateNode,
+    /// Attack the group structure: pick a victim group and block all nodes
+    /// of its neighboring groups, isolating the victim group's members.
+    GroupTargeted,
+    /// Try to cut the (stale) graph: grow a BFS region to half the nodes
+    /// and block its boundary.
+    Bisection,
+}
+
+/// An `r`-bounded `t`-late DoS adversary.
+#[derive(Debug)]
+pub struct DosAdversary {
+    strategy: DosStrategy,
+    bound: f64,
+    history: TopologyHistory,
+    rng: NodeRng,
+}
+
+impl DosAdversary {
+    /// Create an adversary blocking at most `bound`-fraction of the current
+    /// nodes, seeing topology at least `lateness` rounds old.
+    pub fn new(strategy: DosStrategy, bound: f64, lateness: u64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&bound), "bound must be in [0, 1), got {bound}");
+        Self {
+            strategy,
+            bound,
+            history: TopologyHistory::new(lateness),
+            rng: simnet::rng::stream(seed, u64::MAX, 0xD05),
+        }
+    }
+
+    /// The blocking budget fraction `r`.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// The enforced lateness `t`.
+    pub fn lateness(&self) -> u64 {
+        self.history.lateness()
+    }
+
+    /// Record the current topology (call every round, *before* asking for
+    /// blocks; the history enforces the lateness).
+    pub fn observe(&mut self, snap: TopologySnapshot) {
+        self.history.push(snap);
+    }
+
+    /// The nodes to block this round. `n_current` is the current network
+    /// size defining the budget `floor(bound * n_current)`.
+    pub fn block(&mut self, round: u64, n_current: usize) -> BlockSet {
+        let budget = (self.bound * n_current as f64).floor() as usize;
+        if budget == 0 {
+            return BlockSet::none();
+        }
+        let Some(view) = self.history.view(round) else {
+            return BlockSet::none();
+        };
+        let view = view.clone();
+        let picks = match self.strategy {
+            DosStrategy::Random => pick_random(&view, budget, &mut self.rng),
+            DosStrategy::IsolateNode => pick_isolate(&view, budget, &mut self.rng),
+            DosStrategy::GroupTargeted => pick_group_targeted(&view, budget, &mut self.rng),
+            DosStrategy::Bisection => pick_bisection(&view, budget, &mut self.rng),
+        };
+        debug_assert!(picks.len() <= budget);
+        BlockSet::from_iter(picks)
+    }
+}
+
+fn pick_random<R: Rng + ?Sized>(view: &TopologySnapshot, budget: usize, rng: &mut R) -> Vec<NodeId> {
+    let mut nodes = view.nodes.clone();
+    nodes.shuffle(rng);
+    nodes.truncate(budget);
+    nodes
+}
+
+fn adjacency_map(view: &TopologySnapshot) -> HashMap<NodeId, Vec<NodeId>> {
+    let mut adj: HashMap<NodeId, Vec<NodeId>> =
+        view.nodes.iter().map(|&v| (v, Vec::new())).collect();
+    for &(a, b) in &view.edges {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default().push(a);
+    }
+    adj
+}
+
+fn pick_isolate<R: Rng + ?Sized>(view: &TopologySnapshot, budget: usize, rng: &mut R) -> Vec<NodeId> {
+    let adj = adjacency_map(view);
+    if adj.is_empty() {
+        return Vec::new();
+    }
+    // Victims in ascending degree order: cheapest isolations first.
+    let mut victims: Vec<NodeId> = view.nodes.clone();
+    victims.sort_by_key(|v| (adj.get(v).map_or(0, Vec::len), v.raw()));
+    let mut blocked: HashSet<NodeId> = HashSet::new();
+    for v in victims {
+        let ns = adj.get(&v).map(Vec::as_slice).unwrap_or(&[]);
+        let new: Vec<NodeId> =
+            ns.iter().copied().filter(|w| *w != v && !blocked.contains(w)).collect();
+        if blocked.len() + new.len() > budget {
+            break;
+        }
+        blocked.extend(new);
+    }
+    // Spend leftover budget randomly.
+    let mut rest: Vec<NodeId> =
+        view.nodes.iter().copied().filter(|v| !blocked.contains(v)).collect();
+    rest.shuffle(rng);
+    let mut out: Vec<NodeId> = blocked.into_iter().collect();
+    while out.len() < budget {
+        match rest.pop() {
+            Some(v) => out.push(v),
+            None => break,
+        }
+    }
+    out
+}
+
+fn pick_group_targeted<R: Rng + ?Sized>(
+    view: &TopologySnapshot,
+    budget: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    if view.groups.is_empty() {
+        // No group structure observed — fall back to isolation.
+        return pick_isolate(view, budget, rng);
+    }
+    let g = view.groups.len();
+    let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); g];
+    for &(a, b) in &view.group_edges {
+        nbrs[a as usize].push(b);
+        nbrs[b as usize].push(a);
+    }
+    // Choose the victim group whose neighborhood is cheapest to block.
+    let cost = |gi: usize| -> usize {
+        nbrs[gi].iter().map(|&j| view.groups[j as usize].len()).sum()
+    };
+    let mut order: Vec<usize> = (0..g).collect();
+    order.sort_by_key(|&gi| (cost(gi), gi));
+    let mut blocked: HashSet<NodeId> = HashSet::new();
+    for gi in order {
+        let c = cost(gi);
+        if c == 0 || blocked.len() + c > budget {
+            continue;
+        }
+        for &j in &nbrs[gi] {
+            blocked.extend(view.groups[j as usize].iter().copied());
+        }
+        if blocked.len() + view.groups.iter().map(Vec::len).min().unwrap_or(0) > budget {
+            break;
+        }
+    }
+    // Leftover budget: block the largest half-groups to maximize the chance
+    // some group loses all members.
+    let mut out: Vec<NodeId> = blocked.into_iter().collect();
+    let mut spare: Vec<NodeId> = view
+        .groups
+        .iter()
+        .flat_map(|grp| grp.iter().copied())
+        .filter(|v| !out.contains(v))
+        .collect();
+    spare.shuffle(rng);
+    while out.len() < budget {
+        match spare.pop() {
+            Some(v) => out.push(v),
+            None => break,
+        }
+    }
+    out.truncate(budget);
+    out
+}
+
+fn pick_bisection<R: Rng + ?Sized>(view: &TopologySnapshot, budget: usize, rng: &mut R) -> Vec<NodeId> {
+    let adj = adjacency_map(view);
+    let Some(&start) = view.nodes.first() else { return Vec::new() };
+    // BFS until half the nodes are inside.
+    let half = view.nodes.len() / 2;
+    let mut inside: HashSet<NodeId> = HashSet::new();
+    let mut q = VecDeque::from([start]);
+    inside.insert(start);
+    while let Some(v) = q.pop_front() {
+        if inside.len() >= half {
+            break;
+        }
+        for &w in adj.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+            if inside.len() >= half {
+                break;
+            }
+            if inside.insert(w) {
+                q.push_back(w);
+            }
+        }
+    }
+    // Block the inner boundary: inside-nodes with an edge out.
+    let mut boundary: Vec<NodeId> = inside
+        .iter()
+        .copied()
+        .filter(|v| {
+            adj.get(v).is_some_and(|ns| ns.iter().any(|w| !inside.contains(w)))
+        })
+        .collect();
+    boundary.sort_by_key(|v| v.raw());
+    boundary.truncate(budget);
+    // Leftover: random fills.
+    let mut rest: Vec<NodeId> = view
+        .nodes
+        .iter()
+        .copied()
+        .filter(|v| !boundary.contains(v))
+        .collect();
+    rest.shuffle(rng);
+    while boundary.len() < budget {
+        match rest.pop() {
+            Some(v) => boundary.push(v),
+            None => break,
+        }
+    }
+    boundary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_snapshot(round: u64, n: u64) -> TopologySnapshot {
+        TopologySnapshot {
+            round,
+            nodes: (0..n).map(NodeId).collect(),
+            edges: (0..n - 1).map(|i| (NodeId(i), NodeId(i + 1))).collect(),
+            groups: Vec::new(),
+            group_edges: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn budget_respected() {
+        let mut adv = DosAdversary::new(DosStrategy::Random, 0.25, 0, 1);
+        adv.observe(line_snapshot(0, 100));
+        let b = adv.block(0, 100);
+        assert_eq!(b.len(), 25);
+        assert!(b.within_bound(0.25, 100));
+    }
+
+    #[test]
+    fn no_view_no_blocks() {
+        let mut adv = DosAdversary::new(DosStrategy::Random, 0.25, 5, 1);
+        adv.observe(line_snapshot(0, 100));
+        // Round 2: the only snapshot is 2 rounds old, lateness is 5.
+        assert!(adv.block(2, 100).is_empty());
+        // Round 5: now it is exactly 5 old.
+        assert!(!adv.block(5, 100).is_empty());
+    }
+
+    #[test]
+    fn isolate_blocks_a_neighborhood() {
+        let mut adv = DosAdversary::new(DosStrategy::IsolateNode, 0.1, 0, 2);
+        adv.observe(line_snapshot(0, 50));
+        let b = adv.block(0, 50);
+        // Endpoint node 0 has a single neighbor (node 1) — cheapest victim.
+        assert!(b.contains(NodeId(1)), "endpoint neighbor should be blocked");
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn group_targeted_blocks_whole_neighbor_groups() {
+        // 4 groups in a cycle; each group has 3 nodes.
+        let groups: Vec<Vec<NodeId>> =
+            (0..4).map(|g| (0..3).map(|i| NodeId(g * 3 + i)).collect()).collect();
+        let snap = TopologySnapshot {
+            round: 0,
+            nodes: (0..12).map(NodeId).collect(),
+            edges: Vec::new(),
+            groups: groups.clone(),
+            group_edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+        };
+        let mut adv = DosAdversary::new(DosStrategy::GroupTargeted, 0.5, 0, 3);
+        adv.observe(snap);
+        let b = adv.block(0, 12);
+        assert_eq!(b.len(), 6);
+        // Some group's full neighborhood (two groups of 3) must be inside.
+        let fully_blocked: Vec<usize> = (0..4)
+            .filter(|&g| groups[g].iter().all(|v| b.contains(*v)))
+            .collect();
+        assert_eq!(fully_blocked.len(), 2, "two whole neighbor groups blocked");
+    }
+
+    #[test]
+    fn bisection_cuts_a_line() {
+        let mut adv = DosAdversary::new(DosStrategy::Bisection, 0.1, 0, 4);
+        adv.observe(line_snapshot(0, 40));
+        let b = adv.block(0, 40);
+        assert!(!b.is_empty());
+        // On a line, blocking the BFS boundary around the midpoint
+        // disconnects it: check some middle node is blocked.
+        let any_middle = (10..30).any(|i| b.contains(NodeId(i)));
+        assert!(any_middle);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be in")]
+    fn full_blocking_rejected() {
+        DosAdversary::new(DosStrategy::Random, 1.0, 0, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Topology history and `t`-late views.
+//!
+//! The DoS adversary of the paper may base its blocking decisions **only on
+//! the topology of the overlay network**, and a `t`-late adversary only on
+//! topology that is at least `t` rounds old. The harness records a
+//! [`TopologySnapshot`] every round; [`TopologyHistory`] then serves the
+//! newest snapshot that is at least `t` rounds stale, so an adversary
+//! implementation physically cannot read fresher state.
+
+use serde::{Deserialize, Serialize};
+use simnet::NodeId;
+use std::collections::VecDeque;
+
+/// What the adversary may see: node set, overlay edges, and (if the overlay
+/// is group-structured like Sections 5/6) the group composition and
+/// group-level adjacency. No message contents, no node-internal state.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TopologySnapshot {
+    /// Round this snapshot was taken in.
+    pub round: u64,
+    /// All nodes present.
+    pub nodes: Vec<NodeId>,
+    /// Undirected overlay edges.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Group composition (empty if the overlay is not group-structured).
+    pub groups: Vec<Vec<NodeId>>,
+    /// Adjacency between groups, as index pairs into `groups`.
+    pub group_edges: Vec<(u32, u32)>,
+}
+
+impl TopologySnapshot {
+    /// A snapshot with only a node list (for adversaries that ignore
+    /// structure).
+    pub fn nodes_only(round: u64, nodes: Vec<NodeId>) -> Self {
+        Self { round, nodes, ..Self::default() }
+    }
+}
+
+/// Ring buffer of snapshots serving exactly-`t`-late views.
+#[derive(Clone, Debug, Default)]
+pub struct TopologyHistory {
+    lateness: u64,
+    buf: VecDeque<TopologySnapshot>,
+}
+
+impl TopologyHistory {
+    /// A history enforcing `t`-lateness. `lateness == 0` models the
+    /// current-topology adversary used as a control.
+    pub fn new(lateness: u64) -> Self {
+        Self { lateness, buf: VecDeque::new() }
+    }
+
+    /// The enforced lateness `t`.
+    pub fn lateness(&self) -> u64 {
+        self.lateness
+    }
+
+    /// Record the current topology. Snapshots must be pushed in
+    /// nondecreasing round order.
+    pub fn push(&mut self, snap: TopologySnapshot) {
+        if let Some(last) = self.buf.back() {
+            assert!(snap.round >= last.round, "snapshots must be pushed in round order");
+        }
+        self.buf.push_back(snap);
+    }
+
+    /// The newest snapshot that is at least `t` rounds old as of
+    /// `current_round`, or `None` if no such snapshot exists yet.
+    ///
+    /// Also prunes snapshots that can never be served again.
+    pub fn view(&mut self, current_round: u64) -> Option<&TopologySnapshot> {
+        let cutoff = current_round.checked_sub(self.lateness)?;
+        // Drop all but the newest snapshot with round <= cutoff.
+        while self.buf.len() >= 2 && self.buf[1].round <= cutoff {
+            self.buf.pop_front();
+        }
+        self.buf.front().filter(|s| s.round <= cutoff)
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no snapshots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(round: u64) -> TopologySnapshot {
+        TopologySnapshot::nodes_only(round, vec![NodeId(round)])
+    }
+
+    #[test]
+    fn view_is_at_least_t_old() {
+        let mut h = TopologyHistory::new(3);
+        for r in 0..10 {
+            h.push(snap(r));
+        }
+        let v = h.view(10).unwrap();
+        assert_eq!(v.round, 7, "must serve the newest snapshot that is >= 3 old");
+        // Never fresher than t.
+        for cur in 3..10 {
+            let mut h2 = TopologyHistory::new(3);
+            for r in 0..10 {
+                h2.push(snap(r));
+            }
+            let got = h2.view(cur).unwrap().round;
+            assert!(cur - got >= 3);
+        }
+    }
+
+    #[test]
+    fn zero_lateness_serves_current() {
+        let mut h = TopologyHistory::new(0);
+        h.push(snap(5));
+        assert_eq!(h.view(5).unwrap().round, 5);
+    }
+
+    #[test]
+    fn too_early_gives_none() {
+        let mut h = TopologyHistory::new(4);
+        h.push(snap(0));
+        h.push(snap(1));
+        assert!(h.view(3).is_none(), "no snapshot is 4 rounds old yet");
+        assert!(h.view(4).is_some());
+    }
+
+    #[test]
+    fn pruning_keeps_served_snapshot() {
+        let mut h = TopologyHistory::new(2);
+        for r in 0..100 {
+            h.push(snap(r));
+        }
+        let _ = h.view(100);
+        assert!(h.len() <= 3, "history should prune, kept {}", h.len());
+        // Still serves correctly after pruning.
+        assert_eq!(h.view(100).unwrap().round, 98);
+    }
+
+    #[test]
+    #[should_panic(expected = "round order")]
+    fn out_of_order_push_panics() {
+        let mut h = TopologyHistory::new(1);
+        h.push(snap(5));
+        h.push(snap(3));
+    }
+}

@@ -1,0 +1,22 @@
+//! # overlay-adversary — churn and DoS adversaries
+//!
+//! Implements the two adversary models of the paper (Section 1.1):
+//!
+//! * [`churn`] — an omniscient adversary of churn rate `r` that prescribes
+//!   node sets `W_i` with `|W_i|/r <= |W_{i+1}| <= r |W_i|`, introducing
+//!   each new node to exactly one staying node and at most `ceil(r)` new
+//!   nodes to any single node per round.
+//! * [`dos`] — an `r`-bounded, `t`-late adversary that blocks up to an
+//!   `r`-fraction of the nodes each round using only topology information
+//!   that is at least `t` rounds old, served from a [`lateness`] history
+//!   buffer. Includes a 0-late control adversary that demonstrates the
+//!   impossibility result (any polylog-degree overlay can be disconnected
+//!   by a current-topology adversary).
+
+pub mod churn;
+pub mod dos;
+pub mod lateness;
+
+pub use churn::{ChurnEvent, ChurnSchedule, ChurnStrategy};
+pub use dos::{DosAdversary, DosStrategy};
+pub use lateness::{TopologySnapshot, TopologyHistory};

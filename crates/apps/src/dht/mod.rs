@@ -1,0 +1,342 @@
+//! The robust DHT (Section 7.2, Theorem 8).
+//!
+//! A RoBuSt-style distributed storage system over a *fixed* set of `n`
+//! servers, made DoS-resistant without full interconnection by running the
+//! Section 5 reconfiguration on a **k-ary hypercube** of supernodes
+//! (Definition 1) and emulating a k-ary **butterfly** over it for routing.
+//! Data never moves during reconfiguration: values live on the fixed
+//! servers (with logarithmic redundancy across hash-chosen replicas);
+//! only the group overlay that routes requests is continuously resampled.
+//!
+//! Substitution note (documented in DESIGN.md): the original RoBuSt
+//! internals (coding-based storage) are replaced by replication with
+//! majority reads, which preserves the Theorem 8 claim shape — any batch
+//! of read/write requests (O(1) per non-blocked server) completes in
+//! polylogarithmic rounds with polylogarithmic congestion while at most
+//! `gamma * n^(1/log log n)` servers are blocked.
+
+pub mod kary_groups;
+pub mod routing;
+pub mod store;
+
+use kary_groups::KaryGroups;
+use rand::RngExt;
+use routing::{route_batch, Packet};
+use reconfig_core::config::{SamplingParams, Schedule};
+use serde::{Deserialize, Serialize};
+use simnet::rng::NodeRng;
+use simnet::{BlockSet, NodeId};
+use std::collections::HashMap;
+use store::{replica_servers, ServerStore};
+
+/// Why a DHT operation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DhtError {
+    /// No route: some butterfly level had its group fully blocked.
+    Unroutable,
+    /// Fewer than a majority of replicas answered.
+    QuorumFailed,
+}
+
+/// A read/write request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DhtOp {
+    /// Read the value of a key.
+    Read { key: u64 },
+    /// Write a value to a key.
+    Write { key: u64, value: u64 },
+}
+
+/// Metrics of one served batch (the Theorem 8 quantities).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BatchMetrics {
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Requests completed successfully.
+    pub completed: usize,
+    /// Overlay rounds consumed (`O(log^3 n)` by Theorem 8).
+    pub rounds: u64,
+    /// Maximum messages handled by any single group in any round —
+    /// the congestion bound (`O(log^3 n)`).
+    pub congestion: u64,
+}
+
+/// The robust DHT.
+pub struct RobustDht {
+    /// Fixed servers and their local stores.
+    servers: HashMap<NodeId, ServerStore>,
+    /// The reconfigurable k-ary hypercube of groups.
+    groups: KaryGroups,
+    /// Replicas per key (logarithmic redundancy).
+    redundancy: usize,
+    epoch_len: u64,
+    round: u64,
+    epoch_ok: bool,
+    prev_blocked: BlockSet,
+    rng: NodeRng,
+    /// Epochs whose availability precondition failed.
+    pub failed_epochs: u64,
+}
+
+impl RobustDht {
+    /// Stand up a DHT over servers `0..n`. `group_c` controls supernode
+    /// count (`k^d <= n / (group_c * log2 n)`).
+    pub fn new(n: usize, group_c: f64, seed: u64) -> Self {
+        let nodes: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let mut rng = simnet::rng::stream(seed, 4, 0xD47);
+        let groups = KaryGroups::random(&nodes, group_c, &mut rng);
+        let redundancy = ((n.max(4) as f64).log2().ceil() as usize).max(3);
+        // Epoch length mirrors the Section 5 derivation on the supernode
+        // population (power-of-two-rounded binary dimension).
+        let sched_dim =
+            (groups.cube().dim().max(2) as usize).next_power_of_two() as u32;
+        let schedule = Schedule::algorithm2(sched_dim, &SamplingParams::default());
+        let epoch_len = 2 * schedule.rounds() as u64 + 4;
+        Self {
+            servers: nodes.into_iter().map(|v| (v, ServerStore::default())).collect(),
+            groups,
+            redundancy,
+            epoch_len,
+            round: 0,
+            epoch_ok: true,
+            prev_blocked: BlockSet::none(),
+            rng,
+            failed_epochs: 0,
+        }
+    }
+
+    /// Servers in the system.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True if no servers exist.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Replicas per key.
+    pub fn redundancy(&self) -> usize {
+        self.redundancy
+    }
+
+    /// Rounds per reconfiguration epoch.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// The group overlay.
+    pub fn groups(&self) -> &KaryGroups {
+        &self.groups
+    }
+
+    /// The Theorem 8 blocking budget `gamma * n^(1/log log n)`.
+    pub fn blocking_budget(n: usize, gamma: f64) -> usize {
+        let n_f = n.max(16) as f64;
+        let exponent = 1.0 / n_f.log2().log2();
+        (gamma * n_f.powf(exponent)).floor() as usize
+    }
+
+    /// Advance one overlay round under `blocked` (availability tracking +
+    /// epoch-boundary group resampling, as in Section 5).
+    pub fn step(&mut self, blocked: &BlockSet) {
+        self.round += 1;
+        let ok = self
+            .groups
+            .groups()
+            .iter()
+            .all(|g| g.iter().any(|v| !self.prev_blocked.contains(*v) && !blocked.contains(*v)));
+        if !ok {
+            self.epoch_ok = false;
+        }
+        self.prev_blocked = blocked.clone();
+        if self.round % self.epoch_len == 0 {
+            if self.epoch_ok {
+                self.groups.resample(&mut self.rng);
+            } else {
+                self.failed_epochs += 1;
+            }
+            self.epoch_ok = true;
+        }
+    }
+
+    /// Serve a batch of requests while `blocked` holds.
+    ///
+    /// Every request spawns one packet per replica; the packets are routed
+    /// over the emulated butterfly by [`routing::route_batch`] (per-level
+    /// queues, `O(log n)` forwards per group per round, Ranade-style
+    /// combining of equal-key packets). The final group exchanges messages
+    /// with the replica server directly — data never moves with the
+    /// overlay. A request completes when a majority of its replicas were
+    /// reached.
+    pub fn serve_batch(&mut self, ops: &[DhtOp], blocked: &BlockSet) -> BatchMetrics {
+        // Writes first so reads in the same batch observe them.
+        let mut ordered: Vec<&DhtOp> = ops.iter().collect();
+        ordered.sort_by_key(|op| matches!(op, DhtOp::Read { .. }));
+
+        // One packet per (request, replica).
+        let mut packets = Vec::with_capacity(ordered.len() * self.redundancy);
+        let mut packet_meta: Vec<(usize, NodeId)> = Vec::new();
+        for (op_idx, op) in ordered.iter().enumerate() {
+            let key = match **op {
+                DhtOp::Read { key } | DhtOp::Write { key, .. } => key,
+            };
+            for srv in replica_servers(key, self.len() as u64, self.redundancy) {
+                let entry = self.rng.random_range(0..self.groups.cube().len());
+                packets.push(Packet {
+                    entry,
+                    target: self.groups.home_supernode(srv),
+                    key,
+                });
+                packet_meta.push((op_idx, srv));
+            }
+        }
+
+        let capacity = (self.len().max(2) as f64).log2().ceil() as usize;
+        let groups = &self.groups;
+        let route = route_batch(groups.cube(), &packets, capacity, |sn| {
+            !groups.has_unblocked_member(sn, blocked)
+        });
+
+        // Final hop: the target group talks to the replica server.
+        let mut reached_per_op: HashMap<usize, usize> = HashMap::new();
+        for (i, &(op_idx, srv)) in packet_meta.iter().enumerate() {
+            if route.delivered[i] && !blocked.contains(srv) {
+                *reached_per_op.entry(op_idx).or_insert(0) += 1;
+                let key_value = match *ordered[op_idx] {
+                    DhtOp::Write { key, value } => Some((key, value)),
+                    DhtOp::Read { .. } => None,
+                };
+                if let Some((key, value)) = key_value {
+                    self.servers.get_mut(&srv).expect("fixed server set").write(key, value);
+                }
+            }
+        }
+        let quorum = self.redundancy / 2 + 1;
+        let completed =
+            (0..ordered.len()).filter(|i| reached_per_op.get(i).copied().unwrap_or(0) >= quorum).count();
+
+        BatchMetrics {
+            requests: ops.len(),
+            completed,
+            // Route rounds (one butterfly level per round of combined
+            // queue service) doubled for the simulate+synchronize cadence,
+            // plus the final group <-> server exchange.
+            rounds: 2 * route.rounds + 2,
+            congestion: route.max_congestion,
+        }
+    }
+
+    /// Read a single key under `blocked`: majority over replicas.
+    pub fn read(&mut self, key: u64, blocked: &BlockSet) -> Result<u64, DhtError> {
+        let replicas = replica_servers(key, self.len() as u64, self.redundancy);
+        let mut versions: Vec<(u64, u64)> = Vec::new();
+        let mut reachable = 0usize;
+        for &srv in &replicas {
+            let target = self.groups.home_supernode(srv);
+            let entry = self.rng.random_range(0..self.groups.cube().len());
+            let route = self.groups.cube().route(entry, target);
+            let ok = route.iter().all(|&sn| self.groups.has_unblocked_member(sn, blocked))
+                && !blocked.contains(srv);
+            if !ok {
+                continue;
+            }
+            reachable += 1;
+            if let Some(vv) = self.servers[&srv].read(key) {
+                versions.push(vv);
+            }
+        }
+        if reachable < self.redundancy / 2 + 1 {
+            return Err(DhtError::QuorumFailed);
+        }
+        versions
+            .into_iter()
+            .max_by_key(|&(ver, _)| ver)
+            .map(|(_, val)| val)
+            .ok_or(DhtError::QuorumFailed)
+    }
+
+    /// Write a single key under `blocked`.
+    pub fn write(&mut self, key: u64, value: u64, blocked: &BlockSet) -> Result<(), DhtError> {
+        let m = self.serve_batch(&[DhtOp::Write { key, value }], blocked);
+        if m.completed == 1 {
+            Ok(())
+        } else {
+            Err(DhtError::QuorumFailed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut dht = RobustDht::new(512, 2.0, 1);
+        let none = BlockSet::none();
+        dht.write(42, 4242, &none).unwrap();
+        assert_eq!(dht.read(42, &none).unwrap(), 4242);
+        dht.write(42, 4343, &none).unwrap();
+        assert_eq!(dht.read(42, &none).unwrap(), 4343, "latest version wins");
+    }
+
+    #[test]
+    fn missing_key_reports_quorum_of_empties() {
+        let mut dht = RobustDht::new(256, 2.0, 2);
+        assert_eq!(dht.read(7, &BlockSet::none()), Err(DhtError::QuorumFailed));
+    }
+
+    #[test]
+    fn survives_theorem8_blocking_budget() {
+        let n = 1024;
+        let mut dht = RobustDht::new(n, 2.0, 3);
+        let none = BlockSet::none();
+        for k in 0..50u64 {
+            dht.write(k, k * 10, &none).unwrap();
+        }
+        // Block gamma * n^(1/loglog n) random-ish servers.
+        let budget = RobustDht::blocking_budget(n, 1.0);
+        assert!(budget > 0 && budget < n / 4);
+        let blocked: BlockSet = (0..budget as u64).map(|i| NodeId(i * 7 % n as u64)).collect();
+        for k in 0..50u64 {
+            assert_eq!(dht.read(k, &blocked).unwrap(), k * 10, "key {k}");
+        }
+    }
+
+    #[test]
+    fn batch_metrics_are_polylog() {
+        let n = 1024usize;
+        let mut dht = RobustDht::new(n, 2.0, 4);
+        let ops: Vec<DhtOp> =
+            (0..n as u64 / 2).map(|k| DhtOp::Write { key: k, value: k }).collect();
+        let m = dht.serve_batch(&ops, &BlockSet::none());
+        assert_eq!(m.completed, m.requests);
+        let log3 = (n as f64).log2().powi(3);
+        assert!((m.rounds as f64) < log3, "rounds {} vs log^3 {}", m.rounds, log3);
+        assert!((m.congestion as f64) < 40.0 * log3, "congestion {}", m.congestion);
+    }
+
+    #[test]
+    fn reconfiguration_does_not_move_data() {
+        let mut dht = RobustDht::new(256, 2.0, 5);
+        let none = BlockSet::none();
+        dht.write(99, 1234, &none).unwrap();
+        let before = dht.groups().groups().to_vec();
+        for _ in 0..dht.epoch_len() {
+            dht.step(&none);
+        }
+        assert_ne!(dht.groups().groups().to_vec(), before, "groups resampled");
+        assert_eq!(dht.read(99, &none).unwrap(), 1234, "data survives reconfiguration");
+    }
+
+    #[test]
+    fn fully_blocked_replicas_fail_the_read() {
+        let mut dht = RobustDht::new(128, 2.0, 6);
+        let none = BlockSet::none();
+        dht.write(5, 55, &none).unwrap();
+        let replicas = store::replica_servers(5, 128, dht.redundancy());
+        let blocked: BlockSet = replicas.into_iter().collect();
+        assert!(dht.read(5, &blocked).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! # overlay-apps — applications of reconfigurable overlays (Section 7)
+//!
+//! * [`anon`] — robust anonymous routing (Section 7.1, Corollary 2).
+//! * [`dht`] — the robust DHT: a RoBuSt-style storage substrate with
+//!   logarithmic redundancy on a reconfigurable k-ary hypercube with
+//!   butterfly routing (Section 7.2, Theorem 8).
+//! * [`pubsub`] — a robust publish-subscribe system emulated on the DHT
+//!   (Section 7.3).
+
+pub mod anon;
+pub mod dht;
+pub mod pubsub;

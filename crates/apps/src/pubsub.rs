@@ -1,0 +1,154 @@
+//! Robust publish-subscribe (Section 7.3).
+//!
+//! Emulated on the robust DHT: every subscriber group is identified by a
+//! key `k`; the DHT stores the publication counter `m(k)` under `k` and
+//! publication `i` under the derived key `(k, i)`. A batch of publications
+//! is first *aggregated by key* (the paper uses Ranade-style combining on
+//! the butterfly in `O(log n / log log n)` rounds; we aggregate at the
+//! batch interface and charge the butterfly depth), then `m(k)` is bumped
+//! once per key and the publications are stored under consecutive indices.
+//! A subscriber fetches `m(k)` and then all publications up to it.
+
+use crate::dht::{DhtError, RobustDht};
+use serde::{Deserialize, Serialize};
+use simnet::BlockSet;
+use std::collections::BTreeMap;
+
+/// Derived DHT key for publication `i` of topic `k`.
+fn pub_key(topic: u64, index: u64) -> u64 {
+    // Distinct from raw topic keys: fold (topic, index) through a hash.
+    let mut x = topic.rotate_left(17) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 32)
+}
+
+/// Metrics of one publication batch.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PublishMetrics {
+    /// Publications submitted.
+    pub submitted: usize,
+    /// Publications durably stored.
+    pub stored: usize,
+    /// Distinct topics touched.
+    pub topics: usize,
+    /// Overlay rounds, including the aggregation sweep.
+    pub rounds: u64,
+}
+
+/// A publish-subscribe system on the robust DHT.
+pub struct PubSub {
+    dht: RobustDht,
+}
+
+impl PubSub {
+    /// Build over `n` servers.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self { dht: RobustDht::new(n, 2.0, seed) }
+    }
+
+    /// Access the underlying DHT (e.g. to drive reconfiguration rounds).
+    pub fn dht_mut(&mut self) -> &mut RobustDht {
+        &mut self.dht
+    }
+
+    /// Publish a batch of `(topic, payload)` pairs under blocking.
+    pub fn publish_batch(
+        &mut self,
+        pubs: &[(u64, u64)],
+        blocked: &BlockSet,
+    ) -> Result<PublishMetrics, DhtError> {
+        // Aggregation: count publications per topic (the butterfly
+        // combining step), assigning each a consecutive local index.
+        let mut by_topic: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for &(topic, payload) in pubs {
+            by_topic.entry(topic).or_default().push(payload);
+        }
+        let mut stored = 0usize;
+        let mut rounds = 0u64;
+        // Aggregation sweep cost: one butterfly traversal.
+        rounds += 2 * self.dht.groups().cube().dim() as u64;
+        for (&topic, payloads) in &by_topic {
+            let m = match self.dht.read(topic, blocked) {
+                Ok(v) => v,
+                Err(DhtError::QuorumFailed) => 0, // topic not yet created
+                Err(e) => return Err(e),
+            };
+            for (i, &payload) in payloads.iter().enumerate() {
+                self.dht.write(pub_key(topic, m + 1 + i as u64), payload, blocked)?;
+                stored += 1;
+                rounds += 1;
+            }
+            self.dht.write(topic, m + payloads.len() as u64, blocked)?;
+            rounds += 1;
+        }
+        Ok(PublishMetrics {
+            submitted: pubs.len(),
+            stored,
+            topics: by_topic.len(),
+            rounds,
+        })
+    }
+
+    /// Fetch all publications of a topic, oldest first.
+    pub fn fetch(&mut self, topic: u64, blocked: &BlockSet) -> Result<Vec<u64>, DhtError> {
+        let m = match self.dht.read(topic, blocked) {
+            Ok(v) => v,
+            Err(DhtError::QuorumFailed) => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        (1..=m).map(|i| self.dht.read(pub_key(topic, i), blocked)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_fetch_roundtrip() {
+        let mut ps = PubSub::new(512, 1);
+        let none = BlockSet::none();
+        let m = ps
+            .publish_batch(&[(7, 100), (7, 101), (9, 200)], &none)
+            .unwrap();
+        assert_eq!(m.stored, 3);
+        assert_eq!(m.topics, 2);
+        assert_eq!(ps.fetch(7, &none).unwrap(), vec![100, 101]);
+        assert_eq!(ps.fetch(9, &none).unwrap(), vec![200]);
+        assert!(ps.fetch(12345, &none).unwrap().is_empty());
+    }
+
+    #[test]
+    fn later_batches_append() {
+        let mut ps = PubSub::new(512, 2);
+        let none = BlockSet::none();
+        ps.publish_batch(&[(5, 1)], &none).unwrap();
+        ps.publish_batch(&[(5, 2), (5, 3)], &none).unwrap();
+        assert_eq!(ps.fetch(5, &none).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn survives_bounded_blocking() {
+        let n = 1024;
+        let mut ps = PubSub::new(n, 3);
+        let none = BlockSet::none();
+        ps.publish_batch(&[(1, 11), (2, 22)], &none).unwrap();
+        let budget = RobustDht::blocking_budget(n, 1.0);
+        let blocked: BlockSet =
+            (0..budget as u64).map(|i| simnet::NodeId(i * 13 % n as u64)).collect();
+        assert_eq!(ps.fetch(1, &blocked).unwrap(), vec![11]);
+        ps.publish_batch(&[(1, 12)], &blocked).unwrap();
+        assert_eq!(ps.fetch(1, &none).unwrap(), vec![11, 12]);
+    }
+
+    #[test]
+    fn aggregation_counts_topics_once() {
+        let mut ps = PubSub::new(256, 4);
+        let none = BlockSet::none();
+        let pubs: Vec<(u64, u64)> = (0..20).map(|i| (3, i)).collect();
+        let m = ps.publish_batch(&pubs, &none).unwrap();
+        assert_eq!(m.topics, 1);
+        assert_eq!(ps.fetch(3, &none).unwrap().len(), 20);
+    }
+}

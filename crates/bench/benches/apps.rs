@@ -1,0 +1,65 @@
+//! Criterion benches for the Section 7 applications (E13/E14/E15).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overlay_apps::anon::Anonymizer;
+use overlay_apps::dht::{DhtOp, RobustDht};
+use overlay_apps::pubsub::PubSub;
+use reconfig_core::dos::DosParams;
+use simnet::BlockSet;
+
+fn bench_anon_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anon_exchange");
+    group.sample_size(20);
+    group.bench_function("n1024", |b| {
+        let mut anon = Anonymizer::new(1024, DosParams::default(), 1);
+        let none = BlockSet::none();
+        b.iter(|| anon.exchange(&none))
+    });
+    group.finish();
+}
+
+fn bench_dht_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_serve_batch");
+    group.sample_size(10);
+    group.bench_function("n1024_b256", |b| {
+        let mut dht = RobustDht::new(1024, 2.0, 2);
+        let none = BlockSet::none();
+        let ops: Vec<DhtOp> =
+            (0..256u64).map(|k| DhtOp::Write { key: k, value: k }).collect();
+        b.iter(|| dht.serve_batch(&ops, &none))
+    });
+    group.finish();
+}
+
+fn bench_dht_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_read");
+    group.sample_size(20);
+    group.bench_function("n1024", |b| {
+        let mut dht = RobustDht::new(1024, 2.0, 3);
+        let none = BlockSet::none();
+        dht.write(7, 77, &none).unwrap();
+        b.iter(|| dht.read(7, &none))
+    });
+    group.finish();
+}
+
+fn bench_pubsub_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pubsub_publish");
+    group.sample_size(10);
+    group.bench_function("n512_b64", |b| {
+        let mut ps = PubSub::new(512, 4);
+        let none = BlockSet::none();
+        let pubs: Vec<(u64, u64)> = (0..64u64).map(|i| (i % 8, i)).collect();
+        b.iter(|| ps.publish_batch(&pubs, &none))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_anon_exchange,
+    bench_dht_batch,
+    bench_dht_read,
+    bench_pubsub_publish
+);
+criterion_main!(benches);

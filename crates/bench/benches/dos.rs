@@ -1,0 +1,53 @@
+//! Criterion benches for the DoS overlays (E10/E11/E12 hot paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overlay_adversary::dos::{DosAdversary, DosStrategy};
+use reconfig_core::churndos::{ChurnDosOverlay, ChurnDosParams};
+use reconfig_core::dos::{DosOverlay, DosParams};
+use simnet::BlockSet;
+
+fn bench_dos_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dos_round");
+    group.sample_size(20);
+    for n in [1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut ov = DosOverlay::new(n, DosParams::default(), 1);
+            let mut adv = DosAdversary::new(DosStrategy::GroupTargeted, 0.3, 0, 2);
+            b.iter(|| {
+                adv.observe(ov.grouped().snapshot(ov.round()));
+                let blocked = adv.block(ov.round(), n);
+                ov.step(&blocked)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dos_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dos_full_epoch");
+    group.sample_size(10);
+    group.bench_function("n4096", |b| {
+        let mut ov = DosOverlay::new(4096, DosParams::default(), 3);
+        let none = BlockSet::none();
+        b.iter(|| {
+            for _ in 0..ov.epoch_len() {
+                ov.step(&none);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_churndos_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churndos_round");
+    group.sample_size(20);
+    group.bench_function("n2048", |b| {
+        let mut ov = ChurnDosOverlay::new(2048, ChurnDosParams::default(), 4);
+        let none = BlockSet::none();
+        b.iter(|| ov.step(&none))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dos_round, bench_dos_epoch, bench_churndos_round);
+criterion_main!(benches);

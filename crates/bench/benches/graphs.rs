@@ -1,0 +1,63 @@
+//! Criterion benches for the graph substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overlay_graphs::prefix::PrefixCover;
+use overlay_graphs::{connectivity, second_eigenvalue, HGraph};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use simnet::NodeId;
+
+fn bench_hgraph_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hgraph_random");
+    group.sample_size(20);
+    for n in [1024u64, 8192] {
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &nodes, |b, nodes| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| HGraph::random(nodes, 8, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let nodes: Vec<NodeId> = (0..2048u64).map(NodeId).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = HGraph::random(&nodes, 8, &mut rng);
+    let adj = g.adjacency();
+    let mut group = c.benchmark_group("spectral_gap");
+    group.sample_size(10);
+    group.bench_function("n2048_100iters", |b| b.iter(|| second_eigenvalue(&adj, 100, 3)));
+    group.finish();
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let nodes: Vec<NodeId> = (0..8192u64).map(NodeId).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let g = HGraph::random(&nodes, 8, &mut rng);
+    let adj = g.adjacency();
+    let mut group = c.benchmark_group("connectivity");
+    group.sample_size(20);
+    group.bench_function("n8192", |b| b.iter(|| connectivity::is_connected(&adj)));
+    group.finish();
+}
+
+fn bench_prefix_sample(c: &mut Criterion) {
+    let mut cover = PrefixCover::uniform(8);
+    // Make it ragged so locate() has to probe several depths.
+    let l = *cover.iter().next().unwrap();
+    cover.split(l);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut group = c.benchmark_group("prefix_sample");
+    group.bench_function("dim8_ragged", |b| b.iter(|| cover.sample(&mut rng)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hgraph_random,
+    bench_spectral,
+    bench_connectivity,
+    bench_prefix_sample
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for Algorithm 3 epochs (E6/E7/E8 hot paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overlay_graphs::HGraph;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use reconfig_core::config::SamplingParams;
+use reconfig_core::reconfig::{run_epoch, BridgeMode, EpochInput};
+use simnet::NodeId;
+
+fn graph(n: u64, seed: u64) -> HGraph {
+    let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    HGraph::random(&nodes, 8, &mut rng)
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfig_epoch");
+    group.sample_size(10);
+    for n in [128u64, 512] {
+        let g = graph(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                run_epoch(EpochInput {
+                    graph: g,
+                    leaving: Vec::new(),
+                    joins: Vec::new(),
+                    bridge: BridgeMode::PointerDoubling,
+                    params: SamplingParams::default(),
+                    seed: 1,
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_epoch_with_churn(c: &mut Criterion) {
+    let g = graph(256, 3);
+    let joins: Vec<(NodeId, NodeId)> =
+        (0..64u64).map(|i| (NodeId(10_000 + i), NodeId(i % 256))).collect();
+    let leaving: Vec<NodeId> = (0..64u64).map(|i| NodeId(200 + i % 56)).collect();
+    let mut group = c.benchmark_group("reconfig_epoch_churn");
+    group.sample_size(10);
+    group.bench_function("n256_j64_l56", |b| {
+        b.iter(|| {
+            run_epoch(EpochInput {
+                graph: &g,
+                leaving: leaving.clone(),
+                joins: joins.clone(),
+                bridge: BridgeMode::PointerDoubling,
+                params: SamplingParams::default(),
+                seed: 2,
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch, bench_epoch_with_churn);
+criterion_main!(benches);

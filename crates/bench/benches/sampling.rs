@@ -1,0 +1,71 @@
+//! Criterion benches for the sampling primitives (E1/E2/E3 hot paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overlay_graphs::HGraph;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use reconfig_core::config::SamplingParams;
+use reconfig_core::sampling::{run_alg1, run_alg1_direct, run_alg2, run_baseline};
+use simnet::NodeId;
+
+fn graph(n: u64, seed: u64) -> HGraph {
+    let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    HGraph::random(&nodes, 8, &mut rng)
+}
+
+fn bench_alg1_message_level(c: &mut Criterion) {
+    let params = SamplingParams::default();
+    let mut group = c.benchmark_group("alg1_message_level");
+    group.sample_size(10);
+    for n in [128u64, 256, 512] {
+        let g = graph(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| run_alg1(g, &params, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg1_direct(c: &mut Criterion) {
+    let params = SamplingParams::default();
+    let mut group = c.benchmark_group("alg1_direct");
+    group.sample_size(10);
+    for n in [1024u64, 4096] {
+        let g = graph(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| run_alg1_direct(g, &params, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg2(c: &mut Criterion) {
+    let params = SamplingParams { c: 3.0, ..SamplingParams::default() };
+    let mut group = c.benchmark_group("alg2_hypercube");
+    group.sample_size(10);
+    for dim in [4u32, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            b.iter(|| run_alg2(dim, &params, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let params = SamplingParams::default();
+    let g = graph(256, 9);
+    let mut group = c.benchmark_group("baseline_walks");
+    group.sample_size(10);
+    group.bench_function("n256", |b| b.iter(|| run_baseline(&g, &params, 1)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alg1_message_level,
+    bench_alg1_direct,
+    bench_alg2,
+    bench_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E13 — Corollary 2: the anonymizing server system delivers every
+//! request in O(1) rounds under a `(1/2 - eps)`-bounded late attack, and
+//! the relay (exit) distribution is uniform with respect to what the
+//! attacker can know.
+//!
+//! Expected shape: delivery rate 1.0 and constant rounds for every
+//! blocked fraction below 1/2; the relay-usage TV distance stays small.
+
+use overlay_adversary::dos::{DosAdversary, DosStrategy};
+use overlay_apps::anon::Anonymizer;
+use overlay_stats::tv_distance_uniform;
+use reconfig_bench::{table::f, write_json, ExperimentResult, Table};
+use reconfig_core::dos::DosParams;
+
+fn main() {
+    let n = 1024usize;
+    let mut table = Table::new(
+        "E13: robust anonymous routing (Corollary 2)",
+        &["blocked frac", "requests", "delivered", "max rounds", "relay TV"],
+    );
+    let mut rows = Vec::new();
+    for &frac in &[0.0f64, 0.2, 0.3, 0.45] {
+        let mut anon = Anonymizer::new(n, DosParams::default(), 900);
+        let lateness = 2 * anon.overlay().epoch_len();
+        let mut adv = DosAdversary::new(
+            DosStrategy::GroupTargeted,
+            frac.clamp(1e-9, 0.49),
+            lateness,
+            901 + (frac * 100.0) as u64,
+        );
+        let mut delivered = 0u64;
+        let mut total = 0u64;
+        let mut max_rounds = 0u64;
+        let mut relay_counts = vec![0u64; n];
+        for _ in 0..4 * anon.overlay().epoch_len() {
+            let round = anon.overlay().round();
+            adv.observe(anon.overlay().grouped().snapshot(round));
+            let blocked = if frac == 0.0 {
+                simnet::BlockSet::none()
+            } else {
+                adv.block(round, n)
+            };
+            let out = anon.exchange(&blocked);
+            anon.overlay_mut().step(&blocked);
+            total += 1;
+            if out.delivered {
+                delivered += 1;
+            }
+            max_rounds = max_rounds.max(out.rounds);
+            for r in &out.relays {
+                relay_counts[r.raw() as usize] += 1;
+            }
+        }
+        let tv = tv_distance_uniform(&relay_counts, n);
+        table.row(vec![
+            f(frac),
+            total.to_string(),
+            format!("{delivered}/{total}"),
+            max_rounds.to_string(),
+            f(tv),
+        ]);
+        rows.push(serde_json::json!({
+            "blocked_fraction": frac, "requests": total, "delivered": delivered,
+            "max_rounds": max_rounds, "relay_tv": tv,
+        }));
+        assert_eq!(delivered, total, "delivery must be reliable at fraction {frac}");
+    }
+    table.print();
+    println!();
+    println!("delivery stays 1.0 up to a 45% blocking fraction, rounds stay constant,");
+    println!("and relay usage stays near-uniform — robustness, O(1) latency, anonymity.");
+
+    let result = ExperimentResult {
+        id: "E13".into(),
+        title: "Robust anonymous routing".into(),
+        claim: "Corollary 2".into(),
+        rows,
+    };
+    let path = write_json(&result).expect("write results");
+    println!("json: {}", path.display());
+}

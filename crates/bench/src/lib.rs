@@ -1,0 +1,11 @@
+//! # reconfig-bench — experiment harness
+//!
+//! Shared machinery for the experiment binaries (`src/bin/exp_*.rs`) that
+//! regenerate every checkable claim of the paper, and for the Criterion
+//! benches. See DESIGN.md section 3 for the experiment index.
+
+pub mod table;
+pub mod runner;
+
+pub use table::Table;
+pub use runner::{ExperimentResult, write_json};

@@ -1,0 +1,52 @@
+//! Machine-readable experiment output.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The JSON record an experiment binary writes next to its printed table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id (e.g. "E1").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The paper claim this regenerates.
+    pub claim: String,
+    /// One JSON object per table row.
+    pub rows: Vec<serde_json::Value>,
+}
+
+/// Write `result` to `results/<id>.json` under the workspace root (or
+/// `OUT_DIR_RESULTS` if set). Creates the directory if needed. Returns
+/// the path written.
+pub fn write_json(result: &ExperimentResult) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("OUT_DIR_RESULTS").unwrap_or_else(|_| "results".to_string());
+    let dir = Path::new(&dir);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", result.id.to_lowercase()));
+    std::fs::write(&path, serde_json::to_string_pretty(result)?)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_and_write() {
+        let r = ExperimentResult {
+            id: "E0".into(),
+            title: "test".into(),
+            claim: "none".into(),
+            rows: vec![serde_json::json!({"n": 4, "rounds": 9})],
+        };
+        let dir = std::env::temp_dir().join("reconfig-bench-test");
+        std::env::set_var("OUT_DIR_RESULTS", &dir);
+        let path = write_json(&r).unwrap();
+        let back: ExperimentResult =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back.id, "E0");
+        assert_eq!(back.rows.len(), 1);
+        std::env::remove_var("OUT_DIR_RESULTS");
+    }
+}

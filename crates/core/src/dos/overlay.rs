@@ -1,0 +1,287 @@
+//! The epoch loop of the DoS-resistant overlay.
+
+use crate::config::{log2_ceil, SamplingParams, Schedule};
+use crate::dos::supernode::GroupedNetwork;
+use crate::metrics::{DosRoundMetrics, DosRunMetrics};
+use overlay_adversary::dos::DosAdversary;
+use simnet::rng::NodeRng;
+use simnet::{BlockSet, NodeId};
+use std::collections::HashMap;
+
+/// Parameters of the Section 5 overlay.
+#[derive(Clone, Copy, Debug)]
+pub struct DosParams {
+    /// The group-size constant `c` (Lemma 16): `2^d <= n / (c log n)`.
+    pub group_c: f64,
+    /// Sampling parameters used to derive the epoch length from the
+    /// Algorithm 2 schedule.
+    pub sampling: SamplingParams,
+}
+
+impl Default for DosParams {
+    fn default() -> Self {
+        Self { group_c: 4.0, sampling: SamplingParams::default() }
+    }
+}
+
+/// The DoS-resistant overlay: groups of representatives on a hypercube,
+/// rebuilt with a fresh random assignment every `Theta(log log n)` rounds
+/// as long as every group keeps an available member (Lemmas 14/15).
+pub struct DosOverlay {
+    grouped: GroupedNetwork,
+    /// Rounds per reconfiguration epoch.
+    epoch_len: u64,
+    round: u64,
+    epochs_done: u64,
+    /// Epochs that failed because some group starved mid-epoch.
+    pub failed_epochs: u64,
+    /// Whether the current epoch still satisfies the Lemma 14 precondition.
+    epoch_ok: bool,
+    prev_blocked: BlockSet,
+    rng: NodeRng,
+}
+
+impl DosOverlay {
+    /// Build the overlay over nodes `0..n` with the Section 5 dimension
+    /// choice and a uniformly random initial assignment.
+    pub fn new(n: usize, params: DosParams, seed: u64) -> Self {
+        let nodes: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let dim = GroupedNetwork::dimension_for(n, params.group_c);
+        let mut rng = simnet::rng::stream(seed, 1, 0xD0);
+        let grouped = GroupedNetwork::random(&nodes, dim, &mut rng);
+        // Epoch length: the group-simulated Algorithm 2 run (two overlay
+        // rounds per primitive round: simulate + synchronize) plus the
+        // four-step reorganization of Lemma 15. The primitive runs on the
+        // hypercube of supernodes, whose dimension we round up to a power
+        // of two as the paper's d = 2^k assumption.
+        let sched_dim = (dim as usize).next_power_of_two() as u32;
+        let schedule = Schedule::algorithm2(sched_dim, &params.sampling);
+        let epoch_len = 2 * schedule.rounds() as u64 + 4;
+        Self {
+            grouped,
+            epoch_len,
+            round: 0,
+            epochs_done: 0,
+            failed_epochs: 0,
+            epoch_ok: true,
+            prev_blocked: BlockSet::none(),
+            rng,
+        }
+    }
+
+    /// The epoch length `t` in rounds — `Theta(log log n)`. An adversary
+    /// must be at least `2t`-late for Theorem 6's argument.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// Current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Completed (successful or failed) epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs_done
+    }
+
+    /// The current group structure.
+    pub fn grouped(&self) -> &GroupedNetwork {
+        &self.grouped
+    }
+
+    /// Execute one round under the given block set. Reconfigures at epoch
+    /// boundaries (when the epoch's availability precondition held).
+    pub fn step(&mut self, blocked: &BlockSet) -> DosRoundMetrics {
+        self.round += 1;
+        let avail = self.grouped.available_per_group(&self.prev_blocked, blocked);
+        let min_avail = avail.iter().copied().min().unwrap_or(0);
+        if min_avail == 0 {
+            self.epoch_ok = false;
+        }
+        let (min_size, max_size) = self.grouped.group_size_range();
+        let metrics = DosRoundMetrics {
+            round: self.round,
+            blocked: blocked.len(),
+            connected: self.grouped.connected_under(blocked),
+            min_group_available: min_avail,
+            min_group_size: min_size,
+            max_group_size: max_size,
+        };
+        self.prev_blocked = blocked.clone();
+
+        if self.round % self.epoch_len == 0 {
+            self.epochs_done += 1;
+            if self.epoch_ok {
+                // Lemma 15: fresh uniformly random assignment.
+                let nodes = self.grouped.nodes();
+                let dim = self.grouped.cube().dim();
+                self.grouped = GroupedNetwork::random(&nodes, dim, &mut self.rng);
+            } else {
+                self.failed_epochs += 1;
+            }
+            self.epoch_ok = true;
+        }
+        metrics
+    }
+
+    /// Drive the overlay against an adversary for `rounds` rounds,
+    /// recording per-round metrics. The adversary observes the topology
+    /// every round (its lateness buffer decides what it may act on).
+    pub fn run(&mut self, adversary: &mut DosAdversary, rounds: u64) -> DosRunMetrics {
+        let mut out = DosRunMetrics { n: self.grouped.len(), ..Default::default() };
+        for _ in 0..rounds {
+            adversary.observe(self.grouped.snapshot(self.round));
+            let blocked = adversary.block(self.round, self.grouped.len());
+            let m = self.step(&blocked);
+            out.rounds += 1;
+            if m.connected {
+                out.connected_rounds += 1;
+            }
+            if m.min_group_available == 0 {
+                out.starved_rounds += 1;
+            }
+            out.per_round.push(m);
+        }
+        out.epochs = self.epochs_done;
+        out
+    }
+
+    /// The group sizes as a map (diagnostics for Lemma 16 experiments).
+    pub fn group_sizes(&self) -> HashMap<u64, usize> {
+        self.grouped
+            .groups()
+            .iter()
+            .enumerate()
+            .map(|(x, g)| (x as u64, g.len()))
+            .collect()
+    }
+
+    /// Theoretical epoch length for a network of `n` nodes — exposed so
+    /// experiments can verify the `Theta(log log n)` shape without
+    /// building the overlay.
+    pub fn epoch_len_for(n: usize, params: &DosParams) -> u64 {
+        let dim = GroupedNetwork::dimension_for(n, params.group_c);
+        let sched_dim = (dim as usize).next_power_of_two() as u32;
+        let schedule = Schedule::algorithm2(sched_dim, &params.sampling);
+        2 * schedule.rounds() as u64 + 4
+    }
+}
+
+/// The `(1/2 - eps)`-bounded blocking budget of Theorem 6 for `n` nodes.
+pub fn blocking_budget(n: usize, epsilon: f64) -> usize {
+    assert!(epsilon > 0.0 && epsilon <= 0.5);
+    ((0.5 - epsilon) * n as f64).floor() as usize
+}
+
+/// Convenience: the paper's lateness requirement `2t` for an overlay of
+/// `n` nodes (`t` = epoch length).
+pub fn required_lateness(n: usize, params: &DosParams) -> u64 {
+    let _ = log2_ceil(n); // n sanity (panics on 0)
+    2 * DosOverlay::epoch_len_for(n, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_adversary::dos::DosStrategy;
+
+    #[test]
+    fn epoch_len_grows_like_loglog() {
+        let p = DosParams::default();
+        let small = DosOverlay::epoch_len_for(1 << 10, &p);
+        let mid = DosOverlay::epoch_len_for(1 << 16, &p);
+        let large = DosOverlay::epoch_len_for(1 << 30, &p);
+        assert!(small <= mid && mid <= large);
+        // A 2^20-fold increase in n adds only a handful of rounds: the
+        // epoch is 2 * (2 log2(dim) + 1) + 4 with dim ~ log n.
+        assert!(large - small <= 12, "epoch grew {small} -> {large}");
+    }
+
+    #[test]
+    fn late_random_adversary_cannot_disconnect() {
+        let p = DosParams::default();
+        let mut ov = DosOverlay::new(2048, p, 1);
+        let lateness = 2 * ov.epoch_len();
+        let mut adv = DosAdversary::new(DosStrategy::Random, 0.3, lateness, 7);
+        let run = ov.run(&mut adv, 4 * ov.epoch_len());
+        assert_eq!(run.connected_rounds, run.rounds, "connectivity must hold every round");
+        assert_eq!(run.starved_rounds, 0, "every group must keep an available member");
+        assert!(run.epochs >= 3);
+        assert_eq!(ov.failed_epochs, 0);
+    }
+
+    #[test]
+    fn late_group_targeted_adversary_cannot_disconnect() {
+        // The strongest structural attack, but its information is stale:
+        // by the time it blocks "all neighbors of group x", membership has
+        // been resampled.
+        let p = DosParams::default();
+        let mut ov = DosOverlay::new(2048, p, 2);
+        let lateness = 2 * ov.epoch_len();
+        let mut adv = DosAdversary::new(DosStrategy::GroupTargeted, 0.3, lateness, 9);
+        let run = ov.run(&mut adv, 4 * ov.epoch_len());
+        assert_eq!(run.connected_rounds, run.rounds);
+        assert_eq!(run.starved_rounds, 0);
+    }
+
+    #[test]
+    fn zero_late_group_targeted_adversary_disconnects() {
+        // Impossibility control: with current topology the adversary
+        // surgically isolates a group.
+        let p = DosParams::default();
+        let mut ov = DosOverlay::new(2048, p, 3);
+        let mut adv = DosAdversary::new(DosStrategy::GroupTargeted, 0.3, 0, 11);
+        let run = ov.run(&mut adv, 2 * ov.epoch_len());
+        assert!(
+            run.connected_rounds < run.rounds,
+            "0-late adversary should disconnect at least once"
+        );
+    }
+
+    #[test]
+    fn group_sizes_track_lemma16_band() {
+        let p = DosParams::default();
+        let ov = DosOverlay::new(4096, p, 4);
+        let n = 4096f64;
+        let n_super = ov.grouped().cube().len() as f64;
+        let expected = n / n_super;
+        let (min, max) = ov.grouped().group_size_range();
+        assert!((min as f64) > 0.4 * expected, "min {min} vs expected {expected}");
+        assert!((max as f64) < 2.0 * expected, "max {max} vs expected {expected}");
+    }
+
+    #[test]
+    fn blocking_budget_formula() {
+        assert_eq!(blocking_budget(1000, 0.2), 300);
+        assert_eq!(blocking_budget(1000, 0.5), 0);
+    }
+
+    #[test]
+    fn reconfiguration_changes_groups() {
+        let p = DosParams::default();
+        let mut ov = DosOverlay::new(1024, p, 5);
+        let before: Vec<Vec<NodeId>> = ov.grouped().groups().to_vec();
+        for _ in 0..ov.epoch_len() {
+            ov.step(&BlockSet::none());
+        }
+        let after = ov.grouped().groups().to_vec();
+        assert_ne!(before, after, "epoch boundary must resample groups");
+        assert_eq!(ov.epochs(), 1);
+        assert_eq!(ov.failed_epochs, 0);
+    }
+
+    #[test]
+    fn starved_epoch_is_not_reconfigured() {
+        let p = DosParams::default();
+        let mut ov = DosOverlay::new(256, p, 6);
+        let before = ov.grouped().groups().to_vec();
+        // Block group 0 entirely for the whole epoch: availability fails.
+        let victims: BlockSet = ov.grouped().group(0).iter().copied().collect();
+        for _ in 0..ov.epoch_len() {
+            ov.step(&victims);
+        }
+        assert_eq!(ov.failed_epochs, 1);
+        assert_eq!(ov.grouped().groups().to_vec(), before, "stale groups must persist");
+    }
+}

@@ -1,0 +1,25 @@
+//! # reconfig-core — the paper's primary contribution
+//!
+//! Rapid node sampling and constant network reconfiguration, yielding three
+//! robust overlay networks (Drees/Gmyr/Scheideler, SPAA 2016):
+//!
+//! * [`sampling`] — the rapid node sampling primitives (Algorithms 1 and 2)
+//!   that sample `β log n` nodes (almost) uniformly at random in
+//!   `O(log log n)` rounds by combining random walks with pointer doubling,
+//!   plus the plain-random-walk baseline they improve upon exponentially.
+//! * [`reconfig`] — Algorithm 3: reconfiguring an H-graph into a fresh
+//!   uniformly random H-graph every `O(log log n)` rounds, which maintains
+//!   connectivity under omniscient adversarial churn at any constant rate
+//!   (Section 4, Theorems 4 and 5).
+//! * [`dos`] — the hypercube-of-groups network that survives
+//!   `(1/2 - ε)`-bounded `Ω(log log n)`-late DoS attacks (Section 5,
+//!   Theorem 6).
+//! * [`churndos`] — the split/merge extension handling DoS attacks and
+//!   churn simultaneously (Section 6, Theorem 7).
+
+pub mod config;
+pub mod metrics;
+pub mod sampling;
+pub mod reconfig;
+pub mod dos;
+pub mod churndos;

@@ -1,0 +1,197 @@
+//! The churn-resistant expander overlay (Section 4, Theorem 5).
+//!
+//! Wraps [`crate::reconfig::epoch`] into a long-running overlay: the node
+//! set evolves under an adversarial churn schedule while the topology is
+//! replaced by a fresh uniformly random H-graph every epoch. Because each
+//! epoch takes `O(log log n)` rounds and joins/leaves take effect at epoch
+//! boundaries, the network adapts to the prescribed node sets within
+//! `T = O(log log n)` rounds — the delay that makes constant churn rates
+//! survivable at all (cf. the `Omega(sqrt(n))` impossibility without it).
+
+use crate::config::SamplingParams;
+use crate::metrics::ReconfigMetrics;
+use crate::reconfig::epoch::{run_epoch, BridgeMode, EpochInput};
+use overlay_adversary::churn::ChurnEvent;
+use overlay_graphs::{connectivity, HGraph};
+use simnet::NodeId;
+
+/// A continuously reconfiguring H-graph overlay under churn.
+pub struct ExpanderOverlay {
+    graph: HGraph,
+    params: SamplingParams,
+    bridge: BridgeMode,
+    seed: u64,
+    epoch: u64,
+    /// Joins received since the last reconfiguration: `(new, delegate)`.
+    pending_joins: Vec<(NodeId, NodeId)>,
+    /// Leave notices received since the last reconfiguration.
+    pending_leaves: Vec<NodeId>,
+    /// Total rounds consumed by completed epochs.
+    pub total_rounds: u64,
+}
+
+impl ExpanderOverlay {
+    /// Bootstrap an overlay of `n` nodes (ids `0..n`) and degree `d` with
+    /// a uniformly random initial H-graph.
+    pub fn new(n: usize, d: usize, params: SamplingParams, seed: u64) -> Self {
+        assert!(n >= 4, "overlay needs at least 4 nodes");
+        let nodes: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let mut rng = simnet::rng::stream(seed, 0, 0xB007);
+        let graph = HGraph::random(&nodes, d, &mut rng);
+        Self {
+            graph,
+            params,
+            bridge: BridgeMode::PointerDoubling,
+            seed,
+            epoch: 0,
+            pending_joins: Vec::new(),
+            pending_leaves: Vec::new(),
+            total_rounds: 0,
+        }
+    }
+
+    /// Select the Phase 3 bridging mode (A1 ablation).
+    pub fn set_bridge_mode(&mut self, mode: BridgeMode) {
+        self.bridge = mode;
+    }
+
+    /// The current topology.
+    pub fn graph(&self) -> &HGraph {
+        &self.graph
+    }
+
+    /// Current members.
+    pub fn members(&self) -> &[NodeId] {
+        self.graph.nodes()
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Record churn prescribed by the adversary; it takes effect at the
+    /// next [`Self::reconfigure`] (the paper's delay-`T` adaptation).
+    pub fn apply_churn(&mut self, event: &ChurnEvent) {
+        for j in &event.joins {
+            assert!(
+                self.graph.contains(j.introduced_to),
+                "introduction target {} is not a member",
+                j.introduced_to
+            );
+            self.pending_joins.push((j.new_node, j.introduced_to));
+        }
+        for &l in &event.leaves {
+            assert!(self.graph.contains(l), "leaver {l} is not a member");
+            self.pending_leaves.push(l);
+        }
+    }
+
+    /// Run one reconfiguration epoch: the pending joins are integrated,
+    /// pending leavers excluded, and the topology replaced by a fresh
+    /// uniformly random H-graph. Returns the epoch metrics.
+    pub fn reconfigure(&mut self) -> ReconfigMetrics {
+        self.epoch += 1;
+        let out = run_epoch(EpochInput {
+            graph: &self.graph,
+            leaving: std::mem::take(&mut self.pending_leaves),
+            joins: std::mem::take(&mut self.pending_joins),
+            bridge: self.bridge,
+            params: self.params,
+            seed: self.seed.wrapping_add(self.epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        });
+        self.graph = HGraph::from_cycles(out.members.clone(), out.cycles.clone());
+        self.total_rounds += out.metrics.rounds;
+        out.metrics
+    }
+
+    /// Is the current topology connected? (It always is — an H-graph is a
+    /// union of Hamilton cycles — so this is a sanity check used by tests
+    /// and experiments.)
+    pub fn is_connected(&self) -> bool {
+        connectivity::is_connected(&self.graph.adjacency())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_adversary::churn::{ChurnSchedule, ChurnStrategy};
+
+    #[test]
+    fn overlay_survives_sustained_random_churn() {
+        let mut ov = ExpanderOverlay::new(48, 8, SamplingParams::default(), 1);
+        let mut sched = ChurnSchedule::new(ChurnStrategy::Random, 2.0, 0.5, 10_000);
+        let mut rng = simnet::rng::stream(1, 0, 1);
+        for _ in 0..5 {
+            let ev = sched.next(ov.members(), &mut rng);
+            let joined = ev.joins.len();
+            let left = ev.leaves.len();
+            ov.apply_churn(&ev);
+            let m = ov.reconfigure();
+            assert!(m.valid);
+            assert_eq!(m.joined, joined);
+            assert_eq!(m.left, left);
+            assert!(ov.is_connected());
+        }
+        assert_eq!(ov.epoch(), 5);
+    }
+
+    #[test]
+    fn oldest_first_adversary_cannot_disconnect() {
+        let mut ov = ExpanderOverlay::new(40, 8, SamplingParams::default(), 2);
+        let mut sched = ChurnSchedule::new(ChurnStrategy::OldestFirst, 2.0, 0.8, 10_000);
+        let mut rng = simnet::rng::stream(2, 0, 1);
+        for _ in 0..4 {
+            let ev = sched.next(ov.members(), &mut rng);
+            ov.apply_churn(&ev);
+            ov.reconfigure();
+            assert!(ov.is_connected());
+        }
+        // After 4 epochs of oldest-first churn at intensity 0.8, most of
+        // the original cohort is gone yet the overlay stands.
+        let originals = ov.members().iter().filter(|m| m.raw() < 40).count();
+        assert!(originals < 40);
+    }
+
+    #[test]
+    fn leavers_are_excluded_joiners_integrated_within_one_epoch() {
+        let mut ov = ExpanderOverlay::new(16, 8, SamplingParams::default(), 3);
+        let ev = ChurnEvent {
+            joins: vec![overlay_adversary::churn::Join {
+                new_node: NodeId(500),
+                introduced_to: NodeId(3),
+            }],
+            leaves: vec![NodeId(7)],
+        };
+        ov.apply_churn(&ev);
+        ov.reconfigure();
+        assert!(ov.graph().contains(NodeId(500)), "joiner integrated");
+        assert!(!ov.graph().contains(NodeId(7)), "leaver excluded");
+    }
+
+    #[test]
+    fn membership_is_monotonic_per_id() {
+        // An id that left never reappears; an id joins exactly once.
+        let mut ov = ExpanderOverlay::new(24, 8, SamplingParams::default(), 4);
+        let mut sched = ChurnSchedule::new(ChurnStrategy::Random, 2.0, 0.5, 10_000);
+        let mut rng = simnet::rng::stream(4, 0, 1);
+        let mut ever_left: Vec<NodeId> = Vec::new();
+        for _ in 0..4 {
+            let ev = sched.next(ov.members(), &mut rng);
+            ever_left.extend(ev.leaves.iter().copied());
+            ov.apply_churn(&ev);
+            ov.reconfigure();
+            for l in &ever_left {
+                assert!(!ov.graph().contains(*l), "departed id {l} resurfaced");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn churn_referencing_stranger_rejected() {
+        let mut ov = ExpanderOverlay::new(8, 8, SamplingParams::default(), 5);
+        ov.apply_churn(&ChurnEvent { joins: Vec::new(), leaves: vec![NodeId(999)] });
+    }
+}

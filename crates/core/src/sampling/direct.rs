@@ -1,0 +1,244 @@
+//! Vectorized execution of Algorithm 1 for large-`n` sweeps.
+//!
+//! Runs the *same* algorithm and schedule as [`crate::sampling::hgraph`]
+//! but with dense-index array storage and rayon-parallel phases instead of
+//! per-message envelopes, so experiment sweeps can reach `n` in the
+//! hundreds of thousands. Work accounting is derived from the exact
+//! message counts the envelope version would have produced (same message
+//! types, same sizes), so metrics remain comparable; a cross-validation
+//! test checks both versions produce statistically indistinguishable
+//! sample distributions.
+
+use crate::config::{Schedule, SamplingParams};
+use crate::metrics::SamplingMetrics;
+use overlay_graphs::HGraph;
+use rand::RngExt;
+use rayon::prelude::*;
+use simnet::rng::stream;
+
+/// Bit sizes matching [`crate::sampling::hgraph::SampleMsg`].
+const REQUEST_BITS: u64 = 8;
+const RESPONSE_BITS: u64 = 8 + 64;
+
+/// Result of a direct-mode run.
+#[derive(Clone, Debug)]
+pub struct DirectRun {
+    /// Per-node samples, indexed densely in `graph.nodes()` order.
+    pub samples: Vec<Vec<u32>>,
+    /// Run metrics (rounds, failures, work) equivalent to the
+    /// envelope-level implementation.
+    pub metrics: SamplingMetrics,
+}
+
+/// Run Algorithm 1 in direct mode on `graph` with dense node indices.
+pub fn run_alg1_direct(graph: &HGraph, params: &SamplingParams, seed: u64) -> DirectRun {
+    let n = graph.len();
+    let d = graph.degree();
+    let schedule = Schedule::algorithm1(n, d, params);
+
+    // Dense neighbor table: neighbors of node u at [u*d .. (u+1)*d].
+    let mut dense: std::collections::HashMap<simnet::NodeId, u32> =
+        std::collections::HashMap::with_capacity(n);
+    for (i, &v) in graph.nodes().iter().enumerate() {
+        dense.insert(v, i as u32);
+    }
+    let mut nbr: Vec<u32> = Vec::with_capacity(n * d);
+    for &v in graph.nodes() {
+        for w in graph.neighbors(v) {
+            nbr.push(dense[&w]);
+        }
+    }
+
+    // Phase 1: m_0 uniform random neighbors per node.
+    let m0 = schedule.m_at(0);
+    let mut m: Vec<Vec<u32>> = (0..n)
+        .into_par_iter()
+        .map(|u| {
+            let mut rng = stream(seed, u as u64, 1);
+            (0..m0).map(|_| nbr[u * d + rng.random_range(0..d)]).collect()
+        })
+        .collect();
+
+    let mut failures = 0u64;
+    let mut max_node_msgs = 0u64;
+    let mut max_node_bits = 0u64;
+    let mut total_msgs = 0u64;
+
+    for i in 1..=schedule.iterations {
+        let mi = schedule.m_at(i);
+
+        // Phase 2: every node pops m_i walk endpoints and targets them.
+        let (requests, req_underflows): (Vec<Vec<u32>>, Vec<u64>) = m
+            .par_iter_mut()
+            .enumerate()
+            .map(|(u, set)| {
+                let mut rng = stream(seed, u as u64, 100 + i as u64);
+                let mut under = 0u64;
+                let targets: Vec<u32> = (0..mi)
+                    .map(|_| {
+                        if set.is_empty() {
+                            under += 1;
+                            u as u32 // fallback: self, like the envelope version
+                        } else {
+                            let k = rng.random_range(0..set.len());
+                            set.swap_remove(k)
+                        }
+                    })
+                    .collect();
+                (targets, under)
+            })
+            .unzip();
+        failures += req_underflows.iter().sum::<u64>();
+
+        // Bucket requests by target (serial scatter; cheap relative to the
+        // parallel pops around it).
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, targets) in requests.iter().enumerate() {
+            for &t in targets {
+                buckets[t as usize].push(u as u32);
+            }
+        }
+
+        // Phase 3: every node answers its incoming requests by popping
+        // from its own M. Buckets align with M, so this parallelizes.
+        let (responses, resp_underflows): (Vec<Vec<(u32, u32)>>, Vec<u64>) = m
+            .par_iter_mut()
+            .zip(buckets.par_iter())
+            .enumerate()
+            .map(|(v, (set, bucket))| {
+                let mut rng = stream(seed, v as u64, 200 + i as u64);
+                let mut under = 0u64;
+                let out: Vec<(u32, u32)> = bucket
+                    .iter()
+                    .map(|&from| {
+                        let id = if set.is_empty() {
+                            under += 1;
+                            v as u32 // fallback: self
+                        } else {
+                            let k = rng.random_range(0..set.len());
+                            set.swap_remove(k)
+                        };
+                        (from, id)
+                    })
+                    .collect();
+                (out, under)
+            })
+            .unzip();
+        failures += resp_underflows.iter().sum::<u64>();
+
+        // Phase 4: regroup responses by requester.
+        let mut new_m: Vec<Vec<u32>> = vec![Vec::with_capacity(mi); n];
+        for resp in &responses {
+            for &(from, id) in resp {
+                new_m[from as usize].push(id);
+            }
+        }
+        m = new_m;
+
+        // Work accounting (matching the envelope implementation):
+        // request round: each node sends m_i requests; response round: each
+        // node receives its bucket and sends as many responses; final
+        // round: receives m_i responses.
+        let max_bucket = buckets.par_iter().map(Vec::len).max().unwrap_or(0) as u64;
+        max_node_msgs = max_node_msgs.max(mi as u64).max(2 * max_bucket).max(mi as u64);
+        max_node_bits = max_node_bits
+            .max(mi as u64 * REQUEST_BITS)
+            .max(max_bucket * (REQUEST_BITS + RESPONSE_BITS))
+            .max(mi as u64 * RESPONSE_BITS);
+        // n*m_i requests + n*m_i responses, each charged as one send event
+        // and one receive event (matching CommStats conventions).
+        total_msgs += 4 * (n * mi) as u64;
+    }
+
+    let min_samples = m.iter().map(Vec::len).min().unwrap_or(0);
+    let metrics = SamplingMetrics {
+        n,
+        rounds: schedule.rounds() as u64,
+        iterations: schedule.iterations,
+        samples_per_node: min_samples,
+        failures,
+        max_node_bits,
+        max_node_msgs,
+        total_msgs,
+    };
+    DirectRun { samples: m, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use simnet::NodeId;
+
+    fn graph(n: u64, seed: u64) -> HGraph {
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        HGraph::random(&nodes, 8, &mut rng)
+    }
+
+    #[test]
+    fn direct_mode_delivers_full_sample_sets() {
+        let g = graph(256, 1);
+        let p = SamplingParams::default();
+        let run = run_alg1_direct(&g, &p, 3);
+        assert_eq!(run.samples.len(), 256);
+        assert_eq!(run.metrics.failures, 0);
+        let need = p.samples_needed(256);
+        for s in &run.samples {
+            assert!(s.len() >= need);
+        }
+    }
+
+    #[test]
+    fn direct_mode_scales_to_larger_n() {
+        let g = graph(4096, 2);
+        let run = run_alg1_direct(&g, &SamplingParams::default(), 5);
+        assert_eq!(run.metrics.failures, 0);
+        assert!(run.metrics.rounds <= 13, "rounds {}", run.metrics.rounds);
+    }
+
+    #[test]
+    fn distribution_agrees_with_envelope_version() {
+        // Pool all samples and compare both implementations against the
+        // uniform distribution — both must pass at the same confidence.
+        let g = graph(64, 3);
+        let p = SamplingParams { c: 4.0, ..SamplingParams::default() };
+        let direct = run_alg1_direct(&g, &p, 7);
+        let mut counts = vec![0u64; 64];
+        for s in &direct.samples {
+            for &id in s {
+                counts[id as usize] += 1;
+            }
+        }
+        let (_, p_direct) = overlay_stats::uniform_fit(&counts);
+        assert!(p_direct > 1e-4, "direct-mode uniformity rejected: {p_direct}");
+
+        let (env_samples, _) = crate::sampling::run_alg1(&g, &p, 7);
+        let mut counts2 = vec![0u64; 64];
+        for (_, s) in &env_samples {
+            for id in s {
+                counts2[id.raw() as usize] += 1;
+            }
+        }
+        let (_, p_env) = overlay_stats::uniform_fit(&counts2);
+        assert!(p_env > 1e-4, "envelope uniformity rejected: {p_env}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = graph(128, 4);
+        let p = SamplingParams::default();
+        let a = run_alg1_direct(&g, &p, 11);
+        let b = run_alg1_direct(&g, &p, 11);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn undersized_schedule_reports_failures() {
+        let g = graph(128, 5);
+        let p = SamplingParams { epsilon: 0.01, c: 0.15, ..SamplingParams::default() };
+        let run = run_alg1_direct(&g, &p, 13);
+        assert!(run.metrics.failures > 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The lower bound of Lemma 4.
+//!
+//! No algorithm can let a node `u` sample uniformly from `V` in
+//! `o(log diameter)` rounds, because even the fastest possible information
+//! spread — every node introduces everything it knows to everything it
+//! knows, every round — needs `Omega(log D)` rounds before `u` can hold a
+//! reference to a node at distance `D`. This module simulates exactly that
+//! knowledge spread and reports how many rounds each node needs to know
+//! the whole graph; experiment E4 compares the result against
+//! `log2(diameter)` and against the round counts of Algorithms 1/2.
+
+use overlay_graphs::Adjacency;
+
+/// Bitset over node indices.
+#[derive(Clone)]
+struct Bits(Vec<u64>);
+
+impl Bits {
+    fn new(n: usize) -> Self {
+        Bits(vec![0; n.div_ceil(64)])
+    }
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    #[inline]
+    fn or_with(&mut self, other: &Bits) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+    fn count(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+    fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w >> b & 1 == 1).map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+/// Simulate maximal knowledge spread ("introduce everyone to everyone")
+/// and return, for each node, the first round by which it knows all of
+/// `V`. Knowledge sets square each round, so the answer is
+/// `ceil(log2(eccentricity))`-ish — the Lemma 4 bound made concrete.
+///
+/// Intended for moderate `n` (the sets are `n` bits per node).
+pub fn knowledge_spread_rounds(adj: &Adjacency) -> Vec<u32> {
+    let n = adj.len();
+    assert!(n >= 1);
+    // K_0[v] = {v} ∪ N(v).
+    let mut know: Vec<Bits> = (0..n)
+        .map(|v| {
+            let mut b = Bits::new(n);
+            b.set(v);
+            for &w in adj.neighbors(v) {
+                b.set(w as usize);
+            }
+            b
+        })
+        .collect();
+    let mut done_at = vec![u32::MAX; n];
+    for (v, k) in know.iter().enumerate() {
+        if k.count() == n {
+            done_at[v] = 0;
+        }
+    }
+    let mut round = 0u32;
+    while done_at.contains(&u32::MAX) {
+        round += 1;
+        assert!(round <= 64, "knowledge spread did not converge (disconnected graph?)");
+        let prev = know.clone();
+        for v in 0..n {
+            if done_at[v] != u32::MAX {
+                continue;
+            }
+            let members: Vec<usize> = prev[v].ones().collect();
+            for w in members {
+                know[v].or_with(&prev[w]);
+            }
+            if know[v].count() == n {
+                done_at[v] = round;
+            }
+        }
+    }
+    done_at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NodeId;
+
+    fn path(n: u64) -> Adjacency {
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let edges: Vec<_> = (0..n - 1).map(|i| (NodeId(i), NodeId(i + 1))).collect();
+        Adjacency::from_edges(&nodes, &edges)
+    }
+
+    #[test]
+    fn path_needs_log_diameter_rounds() {
+        // Path of 65 nodes: diameter 64. Endpoint knowledge doubles its
+        // radius each round: needs ceil(log2(64)) = 6 rounds.
+        let rounds = knowledge_spread_rounds(&path(65));
+        let end = rounds[0];
+        assert_eq!(end, 6, "endpoint of a 64-diameter path needs log2(64) rounds");
+        // The middle node has eccentricity 32: 5 rounds.
+        let mid = rounds[32];
+        assert_eq!(mid, 5);
+    }
+
+    #[test]
+    fn clique_needs_zero_rounds() {
+        let nodes: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let mut edges = Vec::new();
+        for i in 0..5u64 {
+            for j in i + 1..5 {
+                edges.push((NodeId(i), NodeId(j)));
+            }
+        }
+        let adj = Adjacency::from_edges(&nodes, &edges);
+        assert!(knowledge_spread_rounds(&adj).iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "did not converge")]
+    fn disconnected_graph_panics() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let adj = Adjacency::from_edges(&nodes, &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]);
+        knowledge_spread_rounds(&adj);
+    }
+}

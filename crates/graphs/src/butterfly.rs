@@ -1,0 +1,175 @@
+//! The `d`-dimensional `k`-ary butterfly (Section 7.2).
+//!
+//! Vertices are pairs `(level, position)` with `level in 0..=d` and
+//! `position in {0,...,k-1}^d`. A level-`l` vertex `(l, p)` is connected to
+//! the `k` level-`l+1` vertices whose positions agree with `p` everywhere
+//! except possibly digit `l` (the digit being "fixed" at that level). The
+//! butterfly supports congestion-friendly routing: a packet from
+//! `(0, src)` reaches `(d, dst)` in exactly `d` hops by correcting one
+//! digit per level. The RoBuSt system emulates this network on a `k`-ary
+//! hypercube; we provide both the pure topology and the emulation mapping.
+
+use crate::kary::KaryHypercube;
+use serde::{Deserialize, Serialize};
+
+/// A butterfly vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BflyVertex {
+    /// Level in `0..=d`.
+    pub level: u32,
+    /// Position label in `0..k^d`.
+    pub pos: u64,
+}
+
+/// A `d`-dimensional `k`-ary butterfly over the position space of a
+/// [`KaryHypercube`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Butterfly {
+    cube: KaryHypercube,
+}
+
+impl Butterfly {
+    /// Build a butterfly with `d = cube.dim()` levels over `cube`'s
+    /// position space.
+    pub fn new(cube: KaryHypercube) -> Self {
+        Self { cube }
+    }
+
+    /// The underlying position space.
+    pub fn cube(&self) -> &KaryHypercube {
+        &self.cube
+    }
+
+    /// Number of levels `d` (vertex levels run `0..=d`).
+    pub fn depth(&self) -> u32 {
+        self.cube.dim()
+    }
+
+    /// Total number of butterfly vertices `(d+1) * k^d`.
+    pub fn len(&self) -> u64 {
+        (self.depth() as u64 + 1) * self.cube.len()
+    }
+
+    /// Never true.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `k` down-neighbors of `(l, p)` at level `l+1` (digit `l` of the
+    /// position takes every value). Empty for the last level.
+    pub fn down(&self, v: BflyVertex) -> Vec<BflyVertex> {
+        if v.level >= self.depth() {
+            return Vec::new();
+        }
+        (0..self.cube.k())
+            .map(|val| BflyVertex {
+                level: v.level + 1,
+                pos: self.cube.with_digit(v.pos, v.level, val),
+            })
+            .collect()
+    }
+
+    /// The `k` up-neighbors of `(l, p)` at level `l-1`. Empty for level 0.
+    pub fn up(&self, v: BflyVertex) -> Vec<BflyVertex> {
+        if v.level == 0 {
+            return Vec::new();
+        }
+        (0..self.cube.k())
+            .map(|val| BflyVertex {
+                level: v.level - 1,
+                pos: self.cube.with_digit(v.pos, v.level - 1, val),
+            })
+            .collect()
+    }
+
+    /// The unique descending path from `(0, src)` to `(d, dst)`: at level
+    /// `l` the packet corrects digit `l` to match `dst`.
+    pub fn route(&self, src: u64, dst: u64) -> Vec<BflyVertex> {
+        let d = self.depth();
+        let mut path = Vec::with_capacity(d as usize + 1);
+        let mut pos = src;
+        path.push(BflyVertex { level: 0, pos });
+        for l in 0..d {
+            pos = self.cube.with_digit(pos, l, self.cube.digit(dst, l));
+            path.push(BflyVertex { level: l + 1, pos });
+        }
+        path
+    }
+
+    /// Emulation mapping (Section 7.2): butterfly vertex `(l, p)` is
+    /// simulated by hypercube vertex `p`. Each hypercube vertex therefore
+    /// simulates `d + 1` butterfly vertices, and every butterfly edge maps
+    /// to a hypercube edge (positions differing in one digit) or to a local
+    /// step (same position, different level).
+    pub fn host_of(&self, v: BflyVertex) -> u64 {
+        v.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bfly() -> Butterfly {
+        Butterfly::new(KaryHypercube::new(3, 4))
+    }
+
+    #[test]
+    fn down_neighbors_fix_level_digit() {
+        let b = bfly();
+        let v = BflyVertex { level: 1, pos: 0 };
+        let ns = b.down(v);
+        assert_eq!(ns.len(), 3);
+        for w in &ns {
+            assert_eq!(w.level, 2);
+            // positions differ from v.pos only in digit 1
+            for i in 0..b.cube().dim() {
+                if i != 1 {
+                    assert_eq!(b.cube().digit(w.pos, i), b.cube().digit(v.pos, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn up_is_inverse_of_down() {
+        let b = bfly();
+        let v = BflyVertex { level: 2, pos: 17 };
+        for w in b.down(v) {
+            assert!(b.up(w).contains(&v));
+        }
+    }
+
+    #[test]
+    fn route_is_d_hops_and_lands_on_dst() {
+        let b = bfly();
+        let path = b.route(5, 73);
+        assert_eq!(path.len() as u32, b.depth() + 1);
+        assert_eq!(path[0], BflyVertex { level: 0, pos: 5 });
+        assert_eq!(path.last().unwrap().pos, 73);
+        // every hop is a butterfly edge
+        for w in path.windows(2) {
+            assert!(b.down(w[0]).contains(&w[1]));
+        }
+    }
+
+    #[test]
+    fn boundary_levels_have_one_sided_neighbors() {
+        let b = bfly();
+        assert!(b.up(BflyVertex { level: 0, pos: 0 }).is_empty());
+        assert!(b.down(BflyVertex { level: b.depth(), pos: 0 }).is_empty());
+    }
+
+    #[test]
+    fn vertex_count() {
+        let b = bfly();
+        assert_eq!(b.len(), 5 * 81);
+    }
+
+    #[test]
+    fn emulation_host_is_position() {
+        let b = bfly();
+        let v = BflyVertex { level: 3, pos: 42 };
+        assert_eq!(b.host_of(v), 42);
+    }
+}

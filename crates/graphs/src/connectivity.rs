@@ -1,0 +1,198 @@
+//! Connectivity queries, including the paper's *restricted* notion:
+//! an overlay is connected under a DoS-attack if the subgraph induced by
+//! the **non-blocked** nodes is connected (Section 1.1).
+
+use crate::union_find::UnionFind;
+use simnet::{BlockSet, NodeId};
+use std::collections::HashMap;
+
+/// Dense adjacency lists over a fixed node set.
+///
+/// Nodes are mapped to indices `0..n` in the order given at construction;
+/// the mapping is retained so callers can translate back to [`NodeId`]s.
+#[derive(Clone, Debug)]
+pub struct Adjacency {
+    nodes: Vec<NodeId>,
+    index: HashMap<NodeId, u32>,
+    lists: Vec<Vec<u32>>,
+}
+
+impl Adjacency {
+    /// Build from an undirected edge list. Edges touching unknown nodes
+    /// panic (the caller controls both sets).
+    pub fn from_edges(nodes: &[NodeId], edges: &[(NodeId, NodeId)]) -> Self {
+        let index: HashMap<NodeId, u32> =
+            nodes.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        assert_eq!(index.len(), nodes.len(), "duplicate node ids");
+        let mut lists = vec![Vec::new(); nodes.len()];
+        for &(a, b) in edges {
+            let (ia, ib) = (index[&a], index[&b]);
+            lists[ia as usize].push(ib);
+            lists[ib as usize].push(ia);
+        }
+        Self { nodes: nodes.to_vec(), index, lists }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node at dense index `i`.
+    pub fn node(&self, i: usize) -> NodeId {
+        self.nodes[i]
+    }
+
+    /// Dense index of `v`, if present.
+    pub fn index_of(&self, v: NodeId) -> Option<usize> {
+        self.index.get(&v).map(|&i| i as usize)
+    }
+
+    /// Neighbor indices of dense index `i` (with multiplicity).
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.lists[i]
+    }
+
+    /// Degree (with multiplicity) of dense index `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.lists[i].len()
+    }
+}
+
+/// Is the whole graph connected? (Empty and single-node graphs count as
+/// connected.)
+pub fn is_connected(adj: &Adjacency) -> bool {
+    components_impl(adj, |_| true).0 <= 1
+}
+
+/// Is the subgraph induced by the non-blocked nodes connected?
+///
+/// This is the paper's success criterion for DoS resistance: blocked nodes
+/// and all their incident edges are removed, and the remainder must be one
+/// component. If every node is blocked the answer is `true` (vacuous).
+pub fn is_connected_restricted(adj: &Adjacency, blocked: &BlockSet) -> bool {
+    components_impl(adj, |v| !blocked.contains(v)).0 <= 1
+}
+
+/// Component label per dense index; `None` for excluded nodes. Returns
+/// `(component_count, labels)`.
+pub fn connected_components(adj: &Adjacency, blocked: &BlockSet) -> (usize, Vec<Option<u32>>) {
+    let (count, uf) = components_impl(adj, |v| !blocked.contains(v));
+    let mut uf = uf;
+    let mut label_of_root: HashMap<usize, u32> = HashMap::new();
+    let mut labels = vec![None; adj.len()];
+    for (i, label) in labels.iter_mut().enumerate() {
+        if blocked.contains(adj.node(i)) {
+            continue;
+        }
+        let root = uf.find(i);
+        let next = label_of_root.len() as u32;
+        let l = *label_of_root.entry(root).or_insert(next);
+        *label = Some(l);
+    }
+    (count, labels)
+}
+
+fn components_impl<F: Fn(NodeId) -> bool>(adj: &Adjacency, alive: F) -> (usize, UnionFind) {
+    let mut uf = UnionFind::new(adj.len());
+    let mut alive_count = 0usize;
+    for i in 0..adj.len() {
+        if !alive(adj.node(i)) {
+            continue;
+        }
+        alive_count += 1;
+        for &j in adj.neighbors(i) {
+            if alive(adj.node(j as usize)) {
+                uf.union(i, j as usize);
+            }
+        }
+    }
+    // components() counts dead singletons too; subtract them.
+    let dead = adj.len() - alive_count;
+    (uf.components() - dead, uf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    fn path4() -> Adjacency {
+        // 0 - 1 - 2 - 3
+        Adjacency::from_edges(
+            &ids(&[0, 1, 2, 3]),
+            &[(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2)), (NodeId(2), NodeId(3))],
+        )
+    }
+
+    #[test]
+    fn path_is_connected() {
+        assert!(is_connected(&path4()));
+    }
+
+    #[test]
+    fn blocking_cut_vertex_disconnects() {
+        let adj = path4();
+        let blocked = BlockSet::from_iter([NodeId(1)]);
+        assert!(!is_connected_restricted(&adj, &blocked));
+        let (count, labels) = connected_components(&adj, &blocked);
+        assert_eq!(count, 2);
+        assert_eq!(labels[1], None);
+        assert_ne!(labels[0], labels[2]);
+        assert_eq!(labels[2], labels[3]);
+    }
+
+    #[test]
+    fn blocking_leaf_keeps_connectivity() {
+        let adj = path4();
+        let blocked = BlockSet::from_iter([NodeId(3)]);
+        assert!(is_connected_restricted(&adj, &blocked));
+    }
+
+    #[test]
+    fn all_blocked_is_vacuously_connected() {
+        let adj = path4();
+        let blocked = BlockSet::from_iter(ids(&[0, 1, 2, 3]));
+        assert!(is_connected_restricted(&adj, &blocked));
+    }
+
+    #[test]
+    fn disconnected_pair_of_edges() {
+        let adj = Adjacency::from_edges(
+            &ids(&[0, 1, 2, 3]),
+            &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))],
+        );
+        assert!(!is_connected(&adj));
+        let (count, _) = connected_components(&adj, &BlockSet::none());
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn multi_edges_are_harmless() {
+        let adj = Adjacency::from_edges(
+            &ids(&[0, 1, 2]),
+            &[
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+            ],
+        );
+        assert!(is_connected(&adj));
+        assert_eq!(adj.degree(0), 2);
+        assert_eq!(adj.degree(1), 3);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let adj = Adjacency::from_edges(&[], &[]);
+        assert!(is_connected(&adj));
+    }
+}

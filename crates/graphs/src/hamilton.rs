@@ -1,0 +1,192 @@
+//! Oriented Hamilton cycles over arbitrary node sets.
+//!
+//! An H-graph's edge set is the (multiset) union of `d/2` Hamilton cycles,
+//! each with an orientation: every node stores a reference to its
+//! predecessor and successor in each cycle (paper, Section 2.2).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simnet::NodeId;
+use std::collections::HashMap;
+
+/// An oriented Hamilton cycle over a set of nodes.
+///
+/// Internally the cycle is a cyclic sequence `order[0] -> order[1] -> ... ->
+/// order[n-1] -> order[0]`. Sampling a uniformly random permutation yields a
+/// uniformly random oriented Hamilton cycle (each oriented cycle corresponds
+/// to exactly `n` rotations).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HamiltonCycle {
+    order: Vec<NodeId>,
+    pos: HashMap<NodeId, usize>,
+}
+
+impl HamiltonCycle {
+    /// Build a cycle visiting the nodes in the given order.
+    ///
+    /// Panics if `order` contains duplicates or fewer than 3 nodes (a
+    /// Hamilton cycle needs at least a triangle; the paper's multigraphs
+    /// have no loops).
+    pub fn from_order(order: Vec<NodeId>) -> Self {
+        assert!(order.len() >= 3, "a Hamilton cycle needs at least 3 nodes");
+        let mut pos = HashMap::with_capacity(order.len());
+        for (i, &v) in order.iter().enumerate() {
+            let dup = pos.insert(v, i);
+            assert!(dup.is_none(), "duplicate node {v} in cycle order");
+        }
+        Self { order, pos }
+    }
+
+    /// Sample a uniformly random oriented Hamilton cycle over `nodes`.
+    pub fn random<R: Rng + ?Sized>(nodes: &[NodeId], rng: &mut R) -> Self {
+        let mut order = nodes.to_vec();
+        order.shuffle(rng);
+        Self::from_order(order)
+    }
+
+    /// Number of nodes on the cycle.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Always false (constructor requires ≥ 3 nodes).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Whether `v` is on the cycle.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.pos.contains_key(&v)
+    }
+
+    /// The nodes in cycle order, starting at an arbitrary anchor.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Successor of `v` with respect to the cycle's orientation.
+    pub fn successor(&self, v: NodeId) -> NodeId {
+        let i = self.pos[&v];
+        self.order[(i + 1) % self.order.len()]
+    }
+
+    /// Predecessor of `v` with respect to the cycle's orientation.
+    pub fn predecessor(&self, v: NodeId) -> NodeId {
+        let i = self.pos[&v];
+        self.order[(i + self.order.len() - 1) % self.order.len()]
+    }
+
+    /// Position of `v` in the internal order (used by segment analyses).
+    pub fn position(&self, v: NodeId) -> Option<usize> {
+        self.pos.get(&v).copied()
+    }
+
+    /// Iterate over the cycle's directed edges `(v, succ(v))`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        let n = self.order.len();
+        (0..n).map(move |i| (self.order[i], self.order[(i + 1) % n]))
+    }
+
+    /// The segment `[u, v]` walked along successors: `u, succ(u), ..., v`.
+    ///
+    /// Used to measure *empty segments* (Lemma 12). Panics if `u` or `v` is
+    /// not on the cycle.
+    pub fn segment(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let mut out = vec![u];
+        let mut cur = u;
+        while cur != v {
+            cur = self.successor(cur);
+            out.push(cur);
+            assert!(out.len() <= self.len(), "segment did not terminate");
+        }
+        out
+    }
+
+    /// A canonical key identifying the *oriented cycle* independent of the
+    /// internal rotation: the order rotated so the minimum node comes first.
+    ///
+    /// Two `HamiltonCycle`s describe the same oriented cycle iff their keys
+    /// are equal. Used by the uniformity test of Lemma 10.
+    pub fn canonical_key(&self) -> Vec<NodeId> {
+        let min_idx = self
+            .order
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let n = self.order.len();
+        (0..n).map(|i| self.order[(min_idx + i) % n]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ids(v: &[u64]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn successor_predecessor_roundtrip() {
+        let c = HamiltonCycle::from_order(ids(&[3, 1, 4, 1 + 4, 9]));
+        for &v in c.order() {
+            assert_eq!(c.predecessor(c.successor(v)), v);
+            assert_eq!(c.successor(c.predecessor(v)), v);
+        }
+    }
+
+    #[test]
+    fn edges_cover_every_node_once_as_source() {
+        let c = HamiltonCycle::from_order(ids(&[0, 1, 2, 3]));
+        let es: Vec<_> = c.edges().collect();
+        assert_eq!(es.len(), 4);
+        let mut sources: Vec<u64> = es.iter().map(|(a, _)| a.raw()).collect();
+        sources.sort_unstable();
+        assert_eq!(sources, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_cycle_is_a_permutation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let nodes = ids(&(0..50).collect::<Vec<_>>());
+        let c = HamiltonCycle::random(&nodes, &mut rng);
+        assert_eq!(c.len(), 50);
+        for &v in &nodes {
+            assert!(c.contains(v));
+        }
+    }
+
+    #[test]
+    fn canonical_key_rotation_invariant() {
+        let a = HamiltonCycle::from_order(ids(&[2, 0, 1]));
+        let b = HamiltonCycle::from_order(ids(&[0, 1, 2]));
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        // Opposite orientation is a different oriented cycle.
+        let c = HamiltonCycle::from_order(ids(&[2, 1, 0]));
+        assert_ne!(a.canonical_key(), c.canonical_key());
+    }
+
+    #[test]
+    fn segment_walks_successors() {
+        let c = HamiltonCycle::from_order(ids(&[0, 1, 2, 3, 4]));
+        assert_eq!(c.segment(NodeId(3), NodeId(1)), ids(&[3, 4, 0, 1]));
+        assert_eq!(c.segment(NodeId(2), NodeId(2)), ids(&[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_node_rejected() {
+        HamiltonCycle::from_order(ids(&[0, 1, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_rejected() {
+        HamiltonCycle::from_order(ids(&[0, 1]));
+    }
+}

@@ -1,0 +1,186 @@
+//! H-graphs (Section 2.2).
+//!
+//! An H-graph is an undirected multigraph `G = (V, E)` whose edge multiset
+//! is the union of `d/2` Hamilton cycles over `V`, each with an orientation.
+//! It is a connected `d`-regular multigraph (parallel edges allowed, no
+//! loops). Sampling the cycles independently and uniformly at random yields
+//! a graph from `H_n`; by Friedman's theorem such a graph satisfies
+//! `|lambda_i| <= 2 sqrt(d)` for all `i > 1` w.h.p. (Corollary 1), hence is
+//! an expander with `O(log n)` diameter and rapidly mixing random walks.
+
+use crate::hamilton::HamiltonCycle;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use simnet::NodeId;
+
+/// The degree the paper requires for its expansion guarantees
+/// (`d >= 8`, even). Constructors accept any even `d >= 2`; callers that
+/// need the paper's guarantees should use [`HGraph::random`] with
+/// `d >= MIN_PAPER_DEGREE`.
+pub const MIN_PAPER_DEGREE: usize = 8;
+
+/// A `d`-regular multigraph formed by `d/2` oriented Hamilton cycles.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HGraph {
+    nodes: Vec<NodeId>,
+    cycles: Vec<HamiltonCycle>,
+}
+
+impl HGraph {
+    /// Assemble an H-graph from explicit cycles. All cycles must cover the
+    /// same node set as `nodes`.
+    pub fn from_cycles(nodes: Vec<NodeId>, cycles: Vec<HamiltonCycle>) -> Self {
+        assert!(!cycles.is_empty(), "an H-graph needs at least one Hamilton cycle");
+        for c in &cycles {
+            assert_eq!(c.len(), nodes.len(), "cycle covers a different node count");
+            for &v in &nodes {
+                assert!(c.contains(v), "cycle misses node {v}");
+            }
+        }
+        Self { nodes, cycles }
+    }
+
+    /// Sample a graph uniformly from `H_n` with degree `d` (i.e. `d/2`
+    /// independent uniform Hamilton cycles).
+    pub fn random<R: Rng + ?Sized>(nodes: &[NodeId], d: usize, rng: &mut R) -> Self {
+        assert!(d >= 2 && d % 2 == 0, "H-graph degree must be even and >= 2, got {d}");
+        let cycles = (0..d / 2).map(|_| HamiltonCycle::random(nodes, rng)).collect();
+        Self::from_cycles(nodes.to_vec(), cycles)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Degree `d = 2 * (#cycles)`; every node has exactly `d` incident edge
+    /// endpoints (counting multiplicity).
+    pub fn degree(&self) -> usize {
+        2 * self.cycles.len()
+    }
+
+    /// The node set.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The constituent Hamilton cycles.
+    pub fn cycles(&self) -> &[HamiltonCycle] {
+        &self.cycles
+    }
+
+    /// Whether `v` is a node of this graph.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.cycles[0].contains(v)
+    }
+
+    /// All `d` neighbors of `v` with multiplicity (predecessor and successor
+    /// in every cycle).
+    pub fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.degree());
+        for c in &self.cycles {
+            out.push(c.predecessor(v));
+            out.push(c.successor(v));
+        }
+        out
+    }
+
+    /// A uniformly random incident edge endpoint — one step of the simple
+    /// random walk on the multigraph.
+    pub fn random_neighbor<R: Rng + ?Sized>(&self, v: NodeId, rng: &mut R) -> NodeId {
+        let d = self.degree();
+        let k = rng.random_range(0..d);
+        let c = &self.cycles[k / 2];
+        if k % 2 == 0 {
+            c.predecessor(v)
+        } else {
+            c.successor(v)
+        }
+    }
+
+    /// The undirected edge multiset, one entry per cycle edge.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.len() * self.cycles.len());
+        for c in &self.cycles {
+            out.extend(c.edges());
+        }
+        out
+    }
+
+    /// Adjacency lists indexed densely by position in `nodes()` — the input
+    /// format of [`crate::connectivity`] and [`crate::spectral`].
+    pub fn adjacency(&self) -> crate::connectivity::Adjacency {
+        crate::connectivity::Adjacency::from_edges(&self.nodes, &self.edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn node_vec(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn degree_is_regular() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = HGraph::random(&node_vec(20), 8, &mut rng);
+        assert_eq!(g.degree(), 8);
+        for &v in g.nodes() {
+            assert_eq!(g.neighbors(v).len(), 8);
+        }
+    }
+
+    #[test]
+    fn edge_multiset_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = HGraph::random(&node_vec(10), 4, &mut rng);
+        // 2 cycles x 10 edges each.
+        assert_eq!(g.edges().len(), 20);
+    }
+
+    #[test]
+    fn random_neighbor_is_a_neighbor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = HGraph::random(&node_vec(12), 6, &mut rng);
+        for &v in g.nodes() {
+            let ns = g.neighbors(v);
+            for _ in 0..20 {
+                let w = g.random_neighbor(v, &mut rng);
+                assert!(ns.contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn hgraph_is_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = HGraph::random(&node_vec(64), 8, &mut rng);
+        let adj = g.adjacency();
+        assert!(crate::connectivity::is_connected(&adj));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_degree_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        HGraph::random(&node_vec(10), 5, &mut rng);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = HGraph::random(&node_vec(30), 8, &mut rng);
+        for (a, b) in g.edges() {
+            assert_ne!(a, b);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The binary hypercube (Section 2.2).
+//!
+//! A `d`-dimensional hypercube has `V = {0,1}^d` and an edge between two
+//! vertices iff they differ in exactly one coordinate. Section 5 derives
+//! its DoS-resistant topology from it, and the token random walk of
+//! Section 2.3 performs exactly-uniform node sampling on it.
+
+use serde::{Deserialize, Serialize};
+
+/// A `d`-dimensional binary hypercube; vertices are the labels `0..2^d`
+/// encoded in a `u64` (bit `i` is coordinate `i+1` of the paper's
+/// `(b_1, ..., b_d)` notation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Create a `d`-dimensional hypercube, `1 <= d <= 63`.
+    pub fn new(dim: u32) -> Self {
+        assert!((1..=63).contains(&dim), "hypercube dimension must be in 1..=63, got {dim}");
+        Self { dim }
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of vertices `2^d`.
+    pub fn len(&self) -> u64 {
+        1u64 << self.dim
+    }
+
+    /// Never true.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Is `v` a valid vertex label?
+    pub fn contains(&self, v: u64) -> bool {
+        v < self.len()
+    }
+
+    /// The neighbor `n_i(v)` that differs from `v` exactly in coordinate
+    /// `i` (1-based, following the paper).
+    pub fn neighbor(&self, v: u64, i: u32) -> u64 {
+        assert!((1..=self.dim).contains(&i), "coordinate {i} out of range 1..={}", self.dim);
+        debug_assert!(self.contains(v));
+        v ^ (1u64 << (i - 1))
+    }
+
+    /// All `d` neighbors of `v`.
+    pub fn neighbors(&self, v: u64) -> Vec<u64> {
+        (1..=self.dim).map(|i| self.neighbor(v, i)).collect()
+    }
+
+    /// Hamming distance between two vertices (their hop distance).
+    pub fn distance(&self, a: u64, b: u64) -> u32 {
+        (a ^ b).count_ones()
+    }
+
+    /// Diameter `d`.
+    pub fn diameter(&self) -> u32 {
+        self.dim
+    }
+
+    /// Iterate over all vertex labels.
+    pub fn vertices(&self) -> impl Iterator<Item = u64> {
+        0..self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_flips_one_bit() {
+        let h = Hypercube::new(4);
+        assert_eq!(h.neighbor(0b0000, 1), 0b0001);
+        assert_eq!(h.neighbor(0b0101, 3), 0b0001);
+        assert_eq!(h.neighbor(h.neighbor(9, 2), 2), 9);
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one() {
+        let h = Hypercube::new(5);
+        for v in h.vertices() {
+            let ns = h.neighbors(v);
+            assert_eq!(ns.len(), 5);
+            for w in ns {
+                assert_eq!(h.distance(v, w), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn size_and_diameter() {
+        let h = Hypercube::new(6);
+        assert_eq!(h.len(), 64);
+        assert_eq!(h.diameter(), 6);
+        assert_eq!(h.distance(0, 63), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate")]
+    fn out_of_range_coordinate_panics() {
+        Hypercube::new(3).neighbor(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn zero_dim_rejected() {
+        Hypercube::new(0);
+    }
+}

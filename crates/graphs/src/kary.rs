@@ -1,0 +1,198 @@
+//! The `d`-dimensional `k`-ary hypercube (Definition 1 of the paper).
+//!
+//! `V = {0, ..., k-1}^d`; two vertices are adjacent iff they differ in
+//! exactly one coordinate. It has `k^d` vertices, degree `(k-1) * d` and
+//! diameter `d`. For `d = k / log k` (the RoBuSt setting of Section 7.2)
+//! this gives degree `O(log^2 n / log log n)` and diameter
+//! `log n / log log n` where `n = 2^k`.
+
+use serde::{Deserialize, Serialize};
+
+/// A `d`-dimensional `k`-ary hypercube; vertices are mixed-radix labels in
+/// `0..k^d`, digit `i` (little-endian) being coordinate `i+1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KaryHypercube {
+    k: u64,
+    dim: u32,
+}
+
+impl KaryHypercube {
+    /// Create a `d`-dimensional `k`-ary hypercube. Requires `k >= 2`,
+    /// `d >= 1`, and `k^d <= 2^63`.
+    pub fn new(k: u64, dim: u32) -> Self {
+        assert!(k >= 2, "arity must be >= 2, got {k}");
+        assert!(dim >= 1, "dimension must be >= 1");
+        let mut size: u64 = 1;
+        for _ in 0..dim {
+            size = size.checked_mul(k).expect("k^d overflows u64");
+            assert!(size <= 1u64 << 63, "k^d too large");
+        }
+        Self { k, dim }
+    }
+
+    /// The RoBuSt parameterization: `n = 2^kappa` vertices arranged with
+    /// `d ~= kappa / log2(kappa)` and `k` chosen so `k^d >= n`.
+    pub fn robust_params(kappa: u32) -> Self {
+        assert!(kappa >= 4, "kappa must be >= 4");
+        let log_kappa = (kappa as f64).log2().max(1.0);
+        let d = ((kappa as f64) / log_kappa).round().max(1.0) as u32;
+        // smallest k with k^d >= 2^kappa
+        let k = (2f64.powf(kappa as f64 / d as f64)).ceil() as u64;
+        Self::new(k.max(2), d)
+    }
+
+    /// Arity `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of vertices `k^d`.
+    pub fn len(&self) -> u64 {
+        self.k.pow(self.dim)
+    }
+
+    /// Never true.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Degree `(k-1) * d`.
+    pub fn degree(&self) -> u64 {
+        (self.k - 1) * self.dim as u64
+    }
+
+    /// Diameter `d`.
+    pub fn diameter(&self) -> u32 {
+        self.dim
+    }
+
+    /// Is `v` a valid vertex label?
+    pub fn contains(&self, v: u64) -> bool {
+        v < self.len()
+    }
+
+    /// Digit `i` (0-based coordinate) of vertex `v`.
+    pub fn digit(&self, v: u64, i: u32) -> u64 {
+        debug_assert!(i < self.dim);
+        (v / self.k.pow(i)) % self.k
+    }
+
+    /// Replace digit `i` of `v` with `val`.
+    pub fn with_digit(&self, v: u64, i: u32, val: u64) -> u64 {
+        debug_assert!(val < self.k);
+        let p = self.k.pow(i);
+        let old = self.digit(v, i);
+        v - old * p + val * p
+    }
+
+    /// All `(k-1) * d` neighbors of `v`.
+    pub fn neighbors(&self, v: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.degree() as usize);
+        for i in 0..self.dim {
+            let cur = self.digit(v, i);
+            for val in 0..self.k {
+                if val != cur {
+                    out.push(self.with_digit(v, i, val));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of coordinates in which `a` and `b` differ (hop distance).
+    pub fn distance(&self, a: u64, b: u64) -> u32 {
+        (0..self.dim).filter(|&i| self.digit(a, i) != self.digit(b, i)).count() as u32
+    }
+
+    /// Greedy route from `a` to `b`, fixing coordinates left to right.
+    /// The path has length `distance(a, b) <= d`.
+    pub fn route(&self, a: u64, b: u64) -> Vec<u64> {
+        let mut path = vec![a];
+        let mut cur = a;
+        for i in 0..self.dim {
+            let want = self.digit(b, i);
+            if self.digit(cur, i) != want {
+                cur = self.with_digit(cur, i, want);
+                path.push(cur);
+            }
+        }
+        path
+    }
+
+    /// Iterate over all vertex labels.
+    pub fn vertices(&self) -> impl Iterator<Item = u64> {
+        0..self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_roundtrip() {
+        let g = KaryHypercube::new(3, 4); // 81 vertices
+        let v = (2 + 3) + 2 * 27; // digits [2,1,0,2]
+        assert_eq!(g.digit(v, 0), 2);
+        assert_eq!(g.digit(v, 1), 1);
+        assert_eq!(g.digit(v, 2), 0);
+        assert_eq!(g.digit(v, 3), 2);
+        assert_eq!(g.with_digit(v, 2, 1), v + 9);
+    }
+
+    #[test]
+    fn degree_and_size() {
+        let g = KaryHypercube::new(4, 3);
+        assert_eq!(g.len(), 64);
+        assert_eq!(g.degree(), 9);
+        assert_eq!(g.neighbors(0).len(), 9);
+    }
+
+    #[test]
+    fn neighbors_differ_in_exactly_one_digit() {
+        let g = KaryHypercube::new(3, 3);
+        for v in g.vertices() {
+            for w in g.neighbors(v) {
+                assert_eq!(g.distance(v, w), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn route_reaches_destination_within_diameter() {
+        let g = KaryHypercube::new(5, 4);
+        let path = g.route(0, g.len() - 1);
+        assert_eq!(*path.last().unwrap(), g.len() - 1);
+        assert!(path.len() as u32 <= g.diameter() + 1);
+        // consecutive hops are edges
+        for w in path.windows(2) {
+            assert_eq!(g.distance(w[0], w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn binary_case_matches_hypercube() {
+        let g = KaryHypercube::new(2, 5);
+        let h = crate::hypercube::Hypercube::new(5);
+        for v in g.vertices() {
+            let mut a = g.neighbors(v);
+            let mut b = h.neighbors(v);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn robust_params_cover_n() {
+        for kappa in [8u32, 12, 16] {
+            let g = KaryHypercube::robust_params(kappa);
+            assert!(g.len() >= 1u64 << kappa, "k^d must be >= 2^kappa");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # overlay-graphs — topologies and graph algorithms for reconfigurable overlays
+//!
+//! Implements the network topologies of Drees/Gmyr/Scheideler (SPAA 2016):
+//!
+//! * [`hamilton`] / [`hgraph`] — H-graphs: `d`-regular multigraphs that are
+//!   the union of `d/2` oriented Hamilton cycles (Section 2.2). A graph
+//!   sampled uniformly from `H_n` is an expander w.h.p. (Friedman's theorem,
+//!   Corollary 1 of the paper).
+//! * [`hypercube`] — the binary hypercube used by the DoS-resistant network
+//!   of Section 5.
+//! * [`kary`] — the `d`-dimensional `k`-ary hypercube (Definition 1) used by
+//!   the robust DHT of Section 7.2.
+//! * [`butterfly`] — the `d`-dimensional `k`-ary butterfly emulated for
+//!   routing in the extended RoBuSt system (Theorem 8).
+//! * [`prefix`] — prefix-free supernode label space with split/merge for the
+//!   combined churn+DoS network of Section 6.
+//!
+//! plus the graph algorithms the experiments need: restricted
+//! [`connectivity`], [`spectral`]-gap estimation (to verify expansion), and
+//! simple random [`walk`]s.
+
+pub mod butterfly;
+pub mod connectivity;
+pub mod hamilton;
+pub mod hgraph;
+pub mod hypercube;
+pub mod kary;
+pub mod prefix;
+pub mod skip;
+pub mod spectral;
+pub mod union_find;
+pub mod walk;
+
+pub use butterfly::Butterfly;
+pub use connectivity::{connected_components, is_connected, is_connected_restricted, Adjacency};
+pub use hamilton::HamiltonCycle;
+pub use hgraph::HGraph;
+pub use hypercube::Hypercube;
+pub use kary::KaryHypercube;
+pub use prefix::{Label, PrefixCover};
+pub use skip::SkipGraph;
+pub use spectral::second_eigenvalue;
+pub use union_find::UnionFind;

@@ -1,0 +1,345 @@
+//! Prefix-free supernode label space (Section 6).
+//!
+//! The combined churn+DoS network labels each supernode with a bit string
+//! `(b_1, ..., b_l)`; the set of labels always forms an **exact prefix-free
+//! cover** of the infinite binary tree (equivalently, the leaves of a
+//! complete binary trie). A supernode *splits* by extending its label with
+//! a 0 and creating a sibling ending in 1; it *merges* by absorbing its
+//! sibling and dropping the last bit. The length of the label is the
+//! supernode's *dimension* `d(x)`.
+//!
+//! Two supernodes `x`, `y` with `d(x) <= d(y)` are **connected** iff the
+//! first `d(x)` bits of their labels differ in exactly one coordinate, and
+//! the modified sampling primitive picks each supernode with probability
+//! `2^-d(x)` — both implemented here.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A supernode label: the first `len` bits (MSB-first within `bits`) of a
+/// binary string. `len == 0` is the root label (the whole space).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label {
+    bits: u64,
+    len: u8,
+}
+
+impl Label {
+    /// The root label (empty string).
+    pub const ROOT: Label = Label { bits: 0, len: 0 };
+
+    /// Maximum supported label length.
+    pub const MAX_LEN: u8 = 63;
+
+    /// Build a label from the low `len` bits of `bits` (interpreted
+    /// MSB-first: the highest of those bits is `b_1`).
+    pub fn new(bits: u64, len: u8) -> Self {
+        assert!(len <= Self::MAX_LEN, "label length {len} exceeds maximum");
+        let mask = if len == 0 { 0 } else { u64::MAX >> (64 - len as u32) };
+        Self { bits: bits & mask, len }
+    }
+
+    /// The label's length, i.e. the supernode dimension `d(x)`.
+    pub fn dim(&self) -> u8 {
+        self.len
+    }
+
+    /// Bit `i` (1-based, following the paper's `b_1, ..., b_l`).
+    pub fn bit(&self, i: u8) -> u8 {
+        assert!((1..=self.len).contains(&i), "bit index {i} out of 1..={}", self.len);
+        ((self.bits >> (self.len - i)) & 1) as u8
+    }
+
+    /// The first `k` bits as an integer (MSB-first). `k <= len`.
+    pub fn prefix_bits(&self, k: u8) -> u64 {
+        assert!(k <= self.len);
+        if k == 0 {
+            0
+        } else {
+            self.bits >> (self.len - k)
+        }
+    }
+
+    /// Append a bit: the child `(b_1, ..., b_l, b)`.
+    pub fn child(&self, b: u8) -> Label {
+        assert!(b <= 1);
+        assert!(self.len < Self::MAX_LEN, "cannot extend a maximum-length label");
+        Label { bits: (self.bits << 1) | b as u64, len: self.len + 1 }
+    }
+
+    /// The sibling `(b_1, ..., 1 - b_l)`. Panics on the root.
+    pub fn sibling(&self) -> Label {
+        assert!(self.len > 0, "the root label has no sibling");
+        Label { bits: self.bits ^ 1, len: self.len }
+    }
+
+    /// The parent `(b_1, ..., b_{l-1})`. Panics on the root.
+    pub fn parent(&self) -> Label {
+        assert!(self.len > 0, "the root label has no parent");
+        Label { bits: self.bits >> 1, len: self.len - 1 }
+    }
+
+    /// Is `self` a (non-strict) prefix of `other`?
+    pub fn is_prefix_of(&self, other: &Label) -> bool {
+        other.len >= self.len && other.prefix_bits(self.len) == self.bits
+    }
+
+    /// Does the MSB-first bit stream `point` start with this label?
+    /// (`point`'s bit 63 is `b_1`.)
+    pub fn matches_point(&self, point: u64) -> bool {
+        self.len == 0 || (point >> (64 - self.len as u32)) == self.bits
+    }
+
+    /// Section 6 connectivity rule: with `d(x) <= d(y)`, `x` and `y` are
+    /// connected iff the first `d(x)` bits of their labels differ in
+    /// exactly one coordinate.
+    pub fn connected(&self, other: &Label) -> bool {
+        let k = self.len.min(other.len);
+        let diff = self.prefix_bits(k) ^ other.prefix_bits(k);
+        diff.count_ones() == 1
+    }
+}
+
+impl std::fmt::Debug for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.len == 0 {
+            return write!(f, "ε");
+        }
+        for i in 1..=self.len {
+            write!(f, "{}", self.bit(i))?;
+        }
+        Ok(())
+    }
+}
+
+/// An exact prefix-free cover of the binary label space — the supernode set
+/// of the Section 6 network, with split and merge operations.
+#[derive(Clone, Debug, Default)]
+pub struct PrefixCover {
+    labels: HashSet<Label>,
+}
+
+impl PrefixCover {
+    /// The cover consisting of all `2^d` labels of length `d`.
+    pub fn uniform(d: u8) -> Self {
+        assert!(d <= 20, "uniform cover of dimension {d} would be huge");
+        let labels = (0..(1u64 << d)).map(|b| Label::new(b, d)).collect();
+        Self { labels }
+    }
+
+    /// Number of supernode labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the cover is empty (only before initialization).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Whether `l` is currently a supernode label.
+    pub fn contains(&self, l: &Label) -> bool {
+        self.labels.contains(l)
+    }
+
+    /// Iterate over the labels (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Label> {
+        self.labels.iter()
+    }
+
+    /// Smallest and largest dimension present, or `None` when empty.
+    pub fn dim_range(&self) -> Option<(u8, u8)> {
+        let min = self.labels.iter().map(Label::dim).min()?;
+        let max = self.labels.iter().map(Label::dim).max()?;
+        Some((min, max))
+    }
+
+    /// Split `l` into its two children. Returns the children.
+    /// Panics if `l` is not in the cover.
+    pub fn split(&mut self, l: Label) -> (Label, Label) {
+        assert!(self.labels.remove(&l), "cannot split {l:?}: not in cover");
+        let (c0, c1) = (l.child(0), l.child(1));
+        self.labels.insert(c0);
+        self.labels.insert(c1);
+        (c0, c1)
+    }
+
+    /// Merge `l` with its sibling into the parent. Both must be present.
+    /// Returns the parent.
+    pub fn merge(&mut self, l: Label) -> Label {
+        let sib = l.sibling();
+        assert!(self.labels.contains(&l), "cannot merge {l:?}: not in cover");
+        assert!(
+            self.labels.contains(&sib),
+            "cannot merge {l:?}: sibling {sib:?} not in cover (deeper splits exist)"
+        );
+        self.labels.remove(&l);
+        self.labels.remove(&sib);
+        let p = l.parent();
+        self.labels.insert(p);
+        p
+    }
+
+    /// The unique label that is a prefix of the MSB-first bit stream
+    /// `point`. Panics if the cover is not exact (no match).
+    pub fn locate(&self, point: u64) -> Label {
+        for len in 0..=Label::MAX_LEN {
+            let cand = if len == 0 {
+                Label::ROOT
+            } else {
+                Label::new(point >> (64 - len as u32), len)
+            };
+            if self.labels.contains(&cand) {
+                return cand;
+            }
+        }
+        panic!("cover does not contain a prefix of the point — not exact");
+    }
+
+    /// Sample a supernode with probability exactly `2^-d(x)` — the
+    /// modified sampling distribution of Section 6.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Label {
+        self.locate(rng.random::<u64>())
+    }
+
+    /// Verify the exact-cover invariant: labels are pairwise prefix-free
+    /// and their measures `2^-len` sum to 1.
+    pub fn is_exact_cover(&self) -> bool {
+        if self.labels.is_empty() {
+            return false;
+        }
+        // Kraft sum in fixed point (2^-len scaled by 2^63).
+        let mut sum: u128 = 0;
+        for l in &self.labels {
+            sum += 1u128 << (63 - l.dim() as u32);
+        }
+        if sum != 1u128 << 63 {
+            return false;
+        }
+        // Prefix-freeness: sort by padded bits; only adjacent pairs can
+        // be in prefix relation.
+        let mut sorted: Vec<&Label> = self.labels.iter().collect();
+        sorted.sort_by_key(|l| (l.prefix_bits(l.dim()) << (63 - l.dim() as u32), l.dim()));
+        for w in sorted.windows(2) {
+            if w[0].is_prefix_of(w[1]) || w[1].is_prefix_of(w[0]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All labels connected to `x` under the Section 6 rule.
+    pub fn neighbors_of(&self, x: &Label) -> Vec<Label> {
+        self.labels.iter().filter(|y| *y != x && x.connected(y)).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn label_bit_access_is_msb_first() {
+        let l = Label::new(0b101, 3); // b1=1 b2=0 b3=1
+        assert_eq!(l.bit(1), 1);
+        assert_eq!(l.bit(2), 0);
+        assert_eq!(l.bit(3), 1);
+        assert_eq!(format!("{l:?}"), "101");
+    }
+
+    #[test]
+    fn child_parent_sibling() {
+        let l = Label::new(0b10, 2);
+        assert_eq!(l.child(1), Label::new(0b101, 3));
+        assert_eq!(l.child(1).parent(), l);
+        assert_eq!(l.sibling(), Label::new(0b11, 2));
+        assert!(l.is_prefix_of(&l.child(0)));
+        assert!(!l.child(0).is_prefix_of(&l));
+    }
+
+    #[test]
+    fn connectivity_rule_uses_shorter_prefix() {
+        // x = 10, y = 0011: first 2 bits of y are 00; 10 xor 00 = 10 -> one
+        // differing coordinate -> connected.
+        let x = Label::new(0b10, 2);
+        let y = Label::new(0b0011, 4);
+        assert!(x.connected(&y));
+        // z = 0111: first 2 bits 01; 10 xor 01 = 11 -> two coords differ.
+        let z = Label::new(0b0111, 4);
+        assert!(!x.connected(&z));
+    }
+
+    #[test]
+    fn uniform_cover_is_exact() {
+        let c = PrefixCover::uniform(4);
+        assert_eq!(c.len(), 16);
+        assert!(c.is_exact_cover());
+        assert_eq!(c.dim_range(), Some((4, 4)));
+    }
+
+    #[test]
+    fn split_and_merge_preserve_exactness() {
+        let mut c = PrefixCover::uniform(3);
+        let l = Label::new(0b101, 3);
+        let (c0, c1) = c.split(l);
+        assert!(c.is_exact_cover());
+        assert_eq!(c.len(), 9);
+        assert!(c.contains(&c0) && c.contains(&c1));
+        let p = c.merge(c0);
+        assert_eq!(p, l);
+        assert!(c.is_exact_cover());
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "sibling")]
+    fn merge_requires_sibling_at_same_depth() {
+        let mut c = PrefixCover::uniform(2);
+        let l = Label::new(0b01, 2);
+        c.split(l.sibling()); // sibling now deeper
+        c.merge(l);
+    }
+
+    #[test]
+    fn locate_finds_the_unique_prefix() {
+        let mut c = PrefixCover::uniform(2);
+        c.split(Label::new(0b11, 2));
+        // point starting 110... must land in label 110
+        let point = 0b110u64 << 61;
+        assert_eq!(c.locate(point), Label::new(0b110, 3));
+        // point starting 00... lands in 00
+        assert_eq!(c.locate(0), Label::new(0b00, 2));
+    }
+
+    #[test]
+    fn sample_probability_is_two_to_minus_dim() {
+        let mut c = PrefixCover::uniform(2); // labels of measure 1/4
+        c.split(Label::new(0b00, 2)); // two labels of measure 1/8
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let trials = 64_000;
+        let mut hits = 0u32;
+        let target = Label::new(0b000, 3);
+        for _ in 0..trials {
+            if c.sample(&mut rng) == target {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / trials as f64;
+        assert!((p - 0.125).abs() < 0.01, "measured {p}, expected 0.125");
+    }
+
+    #[test]
+    fn neighbors_respect_connectivity() {
+        let c = PrefixCover::uniform(3);
+        let x = Label::new(0b000, 3);
+        let ns = c.neighbors_of(&x);
+        // exactly the three labels at Hamming distance 1
+        assert_eq!(ns.len(), 3);
+        for n in ns {
+            assert_eq!(n.prefix_bits(3).count_ones(), 1);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Simple random walks (Section 2.3).
+//!
+//! * On a `d`-regular multigraph, the simple random walk picks a uniformly
+//!   random incident edge each step; its stationary distribution is uniform,
+//!   and on a random H-graph it mixes in `O(log n)` steps (Lemma 2).
+//! * On the hypercube, the paper's token walk visits coordinates
+//!   `1, ..., d` in order and flips a fair coin per coordinate; after `d`
+//!   rounds the token sits at an exactly-uniform vertex.
+
+use crate::connectivity::Adjacency;
+use crate::hypercube::Hypercube;
+use rand::{Rng, RngExt};
+
+/// Walk `steps` steps of the simple random walk from dense index `start`;
+/// returns the final dense index. Panics on isolated vertices.
+pub fn simple_walk<R: Rng + ?Sized>(
+    adj: &Adjacency,
+    start: usize,
+    steps: usize,
+    rng: &mut R,
+) -> usize {
+    let mut cur = start;
+    for _ in 0..steps {
+        let ns = adj.neighbors(cur);
+        assert!(!ns.is_empty(), "random walk stuck at isolated vertex {cur}");
+        cur = ns[rng.random_range(0..ns.len())] as usize;
+    }
+    cur
+}
+
+/// The walk length `t = ceil(2 * alpha * log_{d/4} n)` from Lemma 2, after
+/// which the walk distribution is within `n^-alpha` of uniform pointwise.
+pub fn mixing_length(n: usize, d: usize, alpha: f64) -> usize {
+    assert!(d > 4, "Lemma 2 requires d > 4 (log base d/4)");
+    let n = n.max(2) as f64;
+    let base = (d as f64 / 4.0).max(1.0 + 1e-9);
+    (2.0 * alpha * n.ln() / base.ln()).ceil() as usize
+}
+
+/// The paper's hypercube token walk (Section 2.3): in round `i` the holder
+/// flips a fair coin and either keeps the token or forwards it to
+/// `n_i(v)`. After `d` rounds the holder is uniform over `V`. Returns the
+/// final vertex.
+pub fn hypercube_token_walk<R: Rng + ?Sized>(h: &Hypercube, start: u64, rng: &mut R) -> u64 {
+    let mut cur = start;
+    for i in 1..=h.dim() {
+        if rng.random::<bool>() {
+            cur = h.neighbor(cur, i);
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use simnet::NodeId;
+
+    #[test]
+    fn walk_stays_on_graph() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let adj = Adjacency::from_edges(
+            &nodes,
+            &[
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(3), NodeId(0)),
+            ],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..50 {
+            let end = simple_walk(&adj, 0, 7, &mut rng);
+            assert!(end < 4);
+            // parity: a 4-cycle is bipartite, 7 steps lands on odd side
+            assert!(end == 1 || end == 3);
+        }
+    }
+
+    #[test]
+    fn mixing_length_grows_logarithmically() {
+        let t1 = mixing_length(1 << 10, 8, 2.0);
+        let t2 = mixing_length(1 << 20, 8, 2.0);
+        assert!(t2 > t1);
+        // doubling the exponent doubles the length (log n growth)
+        assert!((t2 as f64 / t1 as f64 - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn hypercube_token_walk_is_uniform() {
+        // chi-square-free sanity check: every vertex reachable, roughly even.
+        let h = Hypercube::new(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trials = 16_000;
+        let mut counts = vec![0u32; 16];
+        for _ in 0..trials {
+            counts[hypercube_token_walk(&h, 5, &mut rng) as usize] += 1;
+        }
+        let expected = trials as f64 / 16.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d > 4")]
+    fn mixing_length_requires_valid_base() {
+        mixing_length(100, 4, 2.0);
+    }
+}

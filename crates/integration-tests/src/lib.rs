@@ -1,0 +1,3 @@
+//! Anchor crate for the repository-root `tests/` directory; the integration
+//! test targets are declared in this package's manifest and live in
+//! `../../tests/`.

@@ -1,0 +1,431 @@
+//! The synchronous round engine.
+
+use crate::accounting::{CommStats, WorkAccumulator};
+use crate::fault::{delivered, BlockSet};
+use crate::message::{Envelope, Payload};
+use crate::protocol::{Ctx, Protocol};
+use crate::rng::{stream, NodeRng};
+use crate::trace::{Trace, TraceEvent};
+use crate::NodeId;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Below this many nodes a round is stepped serially; rayon overhead only
+/// pays off for larger populations.
+const PAR_THRESHOLD: usize = 512;
+
+struct Slot<P: Protocol> {
+    id: NodeId,
+    proto: P,
+    rng: NodeRng,
+    inbox: Vec<Envelope<P::Msg>>,
+    outbox: Vec<Envelope<P::Msg>>,
+}
+
+/// A simulated overlay network of nodes running protocol `P`.
+///
+/// The engine owns the nodes, delivers messages according to the synchronous
+/// model (a message sent in round `i` is processed in round `i + 1`),
+/// applies the DoS blocking rule of [`crate::fault`], accounts communication
+/// work, and supports node churn between rounds.
+pub struct Network<P: Protocol> {
+    master_seed: u64,
+    round: u64,
+    slots: Vec<Option<Slot<P>>>,
+    free: Vec<usize>,
+    index: HashMap<NodeId, usize>,
+    in_flight: Vec<Envelope<P::Msg>>,
+    prev_blocked: BlockSet,
+    acc: WorkAccumulator,
+    stats: CommStats,
+    trace: Trace,
+}
+
+impl<P: Protocol> Network<P> {
+    /// Create an empty network. All node randomness derives from
+    /// `master_seed`; identical seeds give identical runs.
+    pub fn new(master_seed: u64) -> Self {
+        Self {
+            master_seed,
+            round: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            in_flight: Vec::new(),
+            prev_blocked: BlockSet::none(),
+            acc: WorkAccumulator::default(),
+            stats: CommStats::new(),
+            trace: Trace::counters_only(),
+        }
+    }
+
+    /// Enable event tracing with the given buffer capacity.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Trace::with_capacity(cap);
+    }
+
+    /// The master seed this network was created with.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Current round number (the next round to be executed by [`Self::step`]).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of nodes currently in the network.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no nodes are present.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `id` is currently a member.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Iterate over current member ids (unspecified order).
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Iterate over `(id, state)` of current members (unspecified order).
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.slots.iter().filter_map(|s| s.as_ref()).map(|s| (s.id, &s.proto))
+    }
+
+    /// Shared access to a node's protocol state.
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        let &slot = self.index.get(&id)?;
+        self.slots[slot].as_ref().map(|s| &s.proto)
+    }
+
+    /// Exclusive access to a node's protocol state.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        let &slot = self.index.get(&id)?;
+        self.slots[slot].as_mut().map(|s| &mut s.proto)
+    }
+
+    /// Communication-work statistics recorded so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Reset communication-work statistics (e.g. between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats.clear();
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Add a node. Panics if `id` is already present (the paper assumes
+    /// every id enters the system at most once).
+    pub fn add_node(&mut self, id: NodeId, proto: P) {
+        assert!(!self.index.contains_key(&id), "duplicate node id {id}");
+        let rng = stream(self.master_seed, id.raw(), 0);
+        let slot = Slot { id, proto, rng, inbox: Vec::new(), outbox: Vec::new() };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(id, idx);
+        self.trace.record(TraceEvent::NodeAdded { round: self.round, node: id });
+    }
+
+    /// Remove a node, returning its protocol state. Messages in flight to it
+    /// are dropped at delivery time.
+    pub fn remove_node(&mut self, id: NodeId) -> Option<P> {
+        let idx = self.index.remove(&id)?;
+        let slot = self.slots[idx].take().expect("index pointed at empty slot");
+        self.free.push(idx);
+        self.trace.record(TraceEvent::NodeRemoved { round: self.round, node: id });
+        Some(slot.proto)
+    }
+
+    /// Inject a message from outside the simulation; it is subject to the
+    /// normal delivery rule next round with `from` as the nominal sender.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        self.in_flight.push(Envelope { from, to, sent_round: self.round, msg });
+    }
+
+    /// Execute one round with no nodes blocked.
+    pub fn step(&mut self) {
+        self.step_blocked(&BlockSet::none());
+    }
+
+    /// Execute one round with the given set of nodes blocked.
+    ///
+    /// Blocked nodes neither receive (their pending messages are dropped per
+    /// the model's delivery rule) nor execute `on_round` nor send.
+    pub fn step_blocked(&mut self, blocked: &BlockSet) {
+        let round = self.round;
+        self.acc.reset(self.slots.len());
+
+        // Step 1: deliver messages sent last round.
+        let in_flight = std::mem::take(&mut self.in_flight);
+        for env in in_flight {
+            if !delivered(env.from, env.to, &self.prev_blocked, blocked) {
+                self.trace.record(TraceEvent::DroppedBlocked {
+                    round,
+                    from: env.from,
+                    to: env.to,
+                });
+                continue;
+            }
+            match self.index.get(&env.to) {
+                Some(&idx) => {
+                    self.acc.charge(idx, env.msg.size_bits());
+                    self.trace.record(TraceEvent::Delivered { round, from: env.from, to: env.to });
+                    self.slots[idx].as_mut().expect("occupied").inbox.push(env);
+                }
+                None => {
+                    self.trace.record(TraceEvent::DroppedMissing {
+                        round,
+                        from: env.from,
+                        to: env.to,
+                    });
+                }
+            }
+        }
+
+        // Steps 2+3: local computation and sending, in parallel. Each node
+        // only touches its own slot, so parallel execution is deterministic.
+        let run = |slot: &mut Slot<P>| {
+            if blocked.contains(slot.id) {
+                // A blocked node cannot receive: discard anything routed to
+                // it (the delivery rule should already have prevented this).
+                slot.inbox.clear();
+                return;
+            }
+            let mut ctx = Ctx {
+                me: slot.id,
+                round,
+                inbox: &mut slot.inbox,
+                outbox: &mut slot.outbox,
+                rng: &mut slot.rng,
+            };
+            slot.proto.on_round(&mut ctx);
+            slot.inbox.clear();
+        };
+        if self.index.len() >= PAR_THRESHOLD {
+            self.slots.par_iter_mut().flatten().for_each(run);
+        } else {
+            self.slots.iter_mut().flatten().for_each(run);
+        }
+
+        // Collect outboxes; charge senders.
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            let Some(slot) = slot else { continue };
+            for env in slot.outbox.drain(..) {
+                self.acc.charge(idx, env.msg.size_bits());
+                self.in_flight.push(env);
+            }
+        }
+
+        self.stats.push(self.acc.finish(round));
+        self.prev_blocked = blocked.clone();
+        self.round += 1;
+    }
+
+    /// Run `rounds` rounds with no blocking.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts everything it receives and forwards a token around a ring.
+    struct Relay {
+        next: NodeId,
+        received: u64,
+        fire: bool,
+    }
+
+    impl Protocol for Relay {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) {
+            let inbox = ctx.take_inbox();
+            let next = self.next;
+            for env in &inbox {
+                self.received += 1;
+                let fwd = env.msg + 1;
+                ctx.send(next, fwd);
+            }
+            if self.fire {
+                self.fire = false;
+                ctx.send(next, 0);
+            }
+        }
+    }
+
+    fn ring(n: u64, seed: u64) -> Network<Relay> {
+        let mut net = Network::new(seed);
+        for i in 0..n {
+            net.add_node(
+                NodeId(i),
+                Relay { next: NodeId((i + 1) % n), received: 0, fire: i == 0 },
+            );
+        }
+        net
+    }
+
+    #[test]
+    fn token_travels_one_hop_per_round() {
+        let mut net = ring(4, 1);
+        // Round 0: node 0 sends. Round k: node k processes.
+        net.run(5);
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 1);
+        assert_eq!(net.node(NodeId(2)).unwrap().received, 1);
+        assert_eq!(net.node(NodeId(3)).unwrap().received, 1);
+        // Token came back around to 0 at round 4.
+        assert_eq!(net.node(NodeId(0)).unwrap().received, 1);
+    }
+
+    #[test]
+    fn blocked_sender_message_never_leaves() {
+        let mut net = ring(3, 2);
+        // Round 0: block node 0 — its initial send must not happen
+        // (on_round skipped entirely).
+        let blocked = BlockSet::from_iter([NodeId(0)]);
+        net.step_blocked(&blocked);
+        assert!(net.node(NodeId(0)).unwrap().fire, "blocked node must not act");
+        // Fires in round 1, node 1 processes it in round 2.
+        net.run(2);
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 1);
+    }
+
+    #[test]
+    fn receiver_blocked_at_receive_round_drops_message() {
+        let mut net = ring(3, 3);
+        net.step(); // round 0: node 0 sends to node 1
+        let blocked = BlockSet::from_iter([NodeId(1)]);
+        net.step_blocked(&blocked); // round 1: node 1 blocked -> message dropped
+        net.run(5);
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 0);
+        assert_eq!(net.trace().dropped_blocked, 1);
+    }
+
+    #[test]
+    fn receiver_blocked_at_send_round_drops_message() {
+        let mut net = ring(3, 4);
+        // Round 0: node 0 sends to node 1 while node 1 is blocked in the
+        // send round. Per the model the message requires w non-blocked in
+        // rounds i and i+1; blocked at i drops it.
+        let blocked = BlockSet::from_iter([NodeId(1)]);
+        net.step_blocked(&blocked);
+        net.run(5);
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 0);
+    }
+
+    #[test]
+    fn churn_add_remove() {
+        let mut net = ring(3, 5);
+        net.run(2);
+        assert_eq!(net.len(), 3);
+        let removed = net.remove_node(NodeId(2)).unwrap();
+        assert_eq!(removed.received, 0); // token was at node 2's inbox stage
+        assert!(!net.contains(NodeId(2)));
+        net.add_node(NodeId(7), Relay { next: NodeId(0), received: 0, fire: false });
+        assert_eq!(net.len(), 3);
+        assert!(net.contains(NodeId(7)));
+        // Messages to the removed node are dropped, not misdelivered.
+        net.run(4);
+        assert!(net.trace().dropped_missing <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_id_panics() {
+        let mut net = ring(2, 6);
+        net.add_node(NodeId(0), Relay { next: NodeId(1), received: 0, fire: false });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run_once = || {
+            let mut net = ring(16, 99);
+            net.run(20);
+            let mut out: Vec<(u64, u64)> =
+                net.nodes().map(|(id, p)| (id.raw(), p.received)).collect();
+            out.sort_unstable();
+            (out, net.stats().total_msgs())
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn accounting_records_work() {
+        let mut net = ring(4, 7);
+        net.run(3);
+        // Round 0 charges the initial send (64 bits) to node 0.
+        assert_eq!(net.stats().rounds()[0].max_node_bits, 64);
+        assert!(net.stats().total_msgs() > 0);
+    }
+
+    #[test]
+    fn inject_feeds_protocols() {
+        let mut net = ring(3, 8);
+        net.node_mut(NodeId(0)).unwrap().fire = false; // silence the ring
+        net.inject(NodeId(999), NodeId(1), 41);
+        net.step();
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 1);
+    }
+
+    #[test]
+    fn parallel_stepping_is_deterministic() {
+        // 600 nodes crosses PAR_THRESHOLD, so rounds execute under rayon;
+        // the result must match run-to-run regardless of thread schedule.
+        let run_once = || {
+            let mut net = ring(600, 1234);
+            net.run(12);
+            let mut out: Vec<(u64, u64)> =
+                net.nodes().map(|(id, p)| (id.raw(), p.received)).collect();
+            out.sort_unstable();
+            (out, net.stats().total_bits())
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn messages_to_node_removed_mid_flight_are_dropped() {
+        let mut net = ring(4, 55);
+        net.step(); // node 0 fired at round 0; token reaches node 1 at round 1
+        net.step(); // node 1 forwards to node 2 (in flight)
+        net.remove_node(NodeId(2));
+        net.step(); // delivery attempt: receiver gone
+        assert_eq!(net.trace().dropped_missing, 1);
+        net.run(3);
+        // Ring is broken at the removed node: no one downstream hears again.
+        assert_eq!(net.node(NodeId(3)).unwrap().received, 0);
+    }
+
+    #[test]
+    fn run_advances_round_counter() {
+        let mut net = ring(2, 9);
+        assert_eq!(net.round(), 0);
+        net.run(5);
+        assert_eq!(net.round(), 5);
+        assert_eq!(net.stats().len(), 5);
+    }
+}

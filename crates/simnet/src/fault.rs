@@ -1,0 +1,149 @@
+//! DoS blocking semantics.
+//!
+//! An `r`-bounded adversary may block any `r`-fraction of the current nodes
+//! in a round. A blocked node can neither send nor receive in that round.
+//! A message sent from `v` to `w` in round `i` is received and processed by
+//! `w` only if
+//!
+//! * `v` is non-blocked in round `i`, and
+//! * `w` is non-blocked in round `i` **and** round `i + 1`.
+//!
+//! If so, `w` is called *available* in round `i + 1`. The engine consults a
+//! [`BlockSet`] per round and applies exactly this rule.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The set of nodes blocked in a given round.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockSet {
+    blocked: HashSet<NodeId>,
+}
+
+impl BlockSet {
+    /// No node blocked.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Block exactly the given nodes. (Shadows the `FromIterator` method
+    /// by design — both behave identically.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        Self { blocked: iter.into_iter().collect() }
+    }
+
+    /// Is `node` blocked?
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.blocked.contains(&node)
+    }
+
+    /// Number of blocked nodes.
+    pub fn len(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// True if no node is blocked.
+    pub fn is_empty(&self) -> bool {
+        self.blocked.is_empty()
+    }
+
+    /// Add a node to the set.
+    pub fn insert(&mut self, node: NodeId) {
+        self.blocked.insert(node);
+    }
+
+    /// Iterate over blocked nodes (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.blocked.iter().copied()
+    }
+
+    /// The fraction of `n` nodes this set blocks.
+    pub fn fraction_of(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.blocked.len() as f64 / n as f64
+        }
+    }
+
+    /// Check the adversary's budget: at most `r * n` nodes blocked.
+    pub fn within_bound(&self, r: f64, n: usize) -> bool {
+        (self.blocked.len() as f64) <= r * n as f64 + 1e-9
+    }
+}
+
+impl FromIterator<NodeId> for BlockSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        BlockSet::from_iter(iter)
+    }
+}
+
+/// Decide whether a message sent in round `i` is delivered in round `i + 1`.
+///
+/// `blocked_at_send` is the block set of round `i`; `blocked_at_recv` the
+/// block set of round `i + 1`.
+#[inline]
+pub fn delivered(
+    from: NodeId,
+    to: NodeId,
+    blocked_at_send: &BlockSet,
+    blocked_at_recv: &BlockSet,
+) -> bool {
+    !blocked_at_send.contains(from)
+        && !blocked_at_send.contains(to)
+        && !blocked_at_recv.contains(to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(ids: &[u64]) -> BlockSet {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn delivery_requires_sender_unblocked_at_send() {
+        let send = bs(&[1]);
+        let recv = bs(&[]);
+        assert!(!delivered(NodeId(1), NodeId(2), &send, &recv));
+        assert!(delivered(NodeId(3), NodeId(2), &send, &recv));
+    }
+
+    #[test]
+    fn delivery_requires_receiver_unblocked_in_both_rounds() {
+        // Receiver blocked at the send round: dropped.
+        assert!(!delivered(NodeId(1), NodeId(2), &bs(&[2]), &bs(&[])));
+        // Receiver blocked at the receive round: dropped.
+        assert!(!delivered(NodeId(1), NodeId(2), &bs(&[]), &bs(&[2])));
+        // Unblocked in both: delivered.
+        assert!(delivered(NodeId(1), NodeId(2), &bs(&[]), &bs(&[])));
+    }
+
+    #[test]
+    fn sender_blocked_only_at_receive_round_is_fine() {
+        // Only the *send-round* status of the sender matters.
+        assert!(delivered(NodeId(1), NodeId(2), &bs(&[]), &bs(&[1])));
+    }
+
+    #[test]
+    fn bound_check() {
+        let set = bs(&[1, 2, 3]);
+        assert!(set.within_bound(0.5, 6));
+        assert!(!set.within_bound(0.4, 6));
+        assert_eq!(set.fraction_of(6), 0.5);
+        assert_eq!(BlockSet::none().fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn insert_and_iter() {
+        let mut set = BlockSet::none();
+        assert!(set.is_empty());
+        set.insert(NodeId(9));
+        assert!(set.contains(NodeId(9)));
+        assert_eq!(set.iter().count(), 1);
+    }
+}

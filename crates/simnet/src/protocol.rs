@@ -1,0 +1,116 @@
+//! The node-side protocol interface.
+
+use crate::message::{Envelope, Payload};
+use crate::rng::NodeRng;
+use crate::NodeId;
+
+/// A distributed protocol, executed locally by every node.
+///
+/// `on_round` is called once per synchronous round on every *non-blocked*
+/// node. Within it, the node performs the three steps of the paper's model:
+/// it reads the messages delivered this round via [`Ctx::take_inbox`],
+/// performs arbitrary local computation, and queues outgoing messages via
+/// [`Ctx::send`]; those are delivered at the start of the next round
+/// (subject to the DoS blocking rule, see [`crate::fault`]).
+pub trait Protocol: Send {
+    /// The message type exchanged by this protocol.
+    type Msg: Payload;
+
+    /// Execute one round.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+}
+
+/// Per-round execution context handed to [`Protocol::on_round`].
+///
+/// Borrows the node's inbox, outbox and private RNG stream from the engine.
+pub struct Ctx<'a, M> {
+    pub(crate) me: NodeId,
+    pub(crate) round: u64,
+    pub(crate) inbox: &'a mut Vec<Envelope<M>>,
+    pub(crate) outbox: &'a mut Vec<Envelope<M>>,
+    pub(crate) rng: &'a mut NodeRng,
+}
+
+impl<'a, M: Payload> Ctx<'a, M> {
+    /// This node's identifier.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current round number.
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Messages delivered to this node this round (sent in the previous
+    /// round). Taking the inbox leaves it empty; a second call within the
+    /// same round returns nothing.
+    pub fn take_inbox(&mut self) -> Vec<Envelope<M>> {
+        std::mem::take(self.inbox)
+    }
+
+    /// Peek at the inbox without consuming it.
+    pub fn inbox(&self) -> &[Envelope<M>] {
+        self.inbox
+    }
+
+    /// Queue a message to `to`, delivered next round.
+    ///
+    /// Sending to oneself is allowed (the overlay model places no
+    /// restriction on it) and delivers next round like any other message.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push(Envelope { from: self.me, to, sent_round: self.round, msg });
+    }
+
+    /// The node's deterministic private RNG stream.
+    #[inline]
+    pub fn rng(&mut self) -> &mut NodeRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream;
+
+    #[test]
+    fn ctx_send_records_metadata() {
+        let mut inbox = Vec::new();
+        let mut outbox = Vec::new();
+        let mut rng = stream(0, 1, 0);
+        let mut ctx = Ctx::<NodeId> {
+            me: NodeId(1),
+            round: 5,
+            inbox: &mut inbox,
+            outbox: &mut outbox,
+            rng: &mut rng,
+        };
+        ctx.send(NodeId(2), NodeId(9));
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox[0].from, NodeId(1));
+        assert_eq!(outbox[0].to, NodeId(2));
+        assert_eq!(outbox[0].sent_round, 5);
+        assert_eq!(outbox[0].msg, NodeId(9));
+    }
+
+    #[test]
+    fn take_inbox_drains() {
+        let mut inbox = vec![Envelope { from: NodeId(2), to: NodeId(1), sent_round: 4, msg: NodeId(3) }];
+        let mut outbox = Vec::new();
+        let mut rng = stream(0, 1, 0);
+        let mut ctx = Ctx::<NodeId> {
+            me: NodeId(1),
+            round: 5,
+            inbox: &mut inbox,
+            outbox: &mut outbox,
+            rng: &mut rng,
+        };
+        assert_eq!(ctx.inbox().len(), 1);
+        let got = ctx.take_inbox();
+        assert_eq!(got.len(), 1);
+        assert!(ctx.take_inbox().is_empty());
+    }
+}

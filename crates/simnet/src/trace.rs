@@ -1,0 +1,112 @@
+//! Optional event tracing for debugging protocols.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A traced simulator event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A message was delivered.
+    Delivered { round: u64, from: NodeId, to: NodeId },
+    /// A message was dropped by the DoS delivery rule.
+    DroppedBlocked { round: u64, from: NodeId, to: NodeId },
+    /// A message was addressed to a node no longer (or not yet) present.
+    DroppedMissing { round: u64, from: NodeId, to: NodeId },
+    /// A node joined the simulation.
+    NodeAdded { round: u64, node: NodeId },
+    /// A node left the simulation.
+    NodeRemoved { round: u64, node: NodeId },
+}
+
+/// Bounded event log. Disabled by default; when enabled it records up to
+/// `cap` events and counts overflow.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    events: Vec<TraceEvent>,
+    /// Events not recorded because the buffer was full.
+    pub overflow: u64,
+    /// Total dropped-by-blocking messages (counted even when disabled).
+    pub dropped_blocked: u64,
+    /// Total dropped-missing-receiver messages (counted even when disabled).
+    pub dropped_missing: u64,
+    /// Total delivered messages (counted even when disabled).
+    pub delivered: u64,
+}
+
+impl Trace {
+    /// A disabled trace that still maintains the aggregate counters.
+    pub fn counters_only() -> Self {
+        Self::default()
+    }
+
+    /// An enabled trace recording up to `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { enabled: true, cap, ..Self::default() }
+    }
+
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        match &ev {
+            TraceEvent::Delivered { .. } => self.delivered += 1,
+            TraceEvent::DroppedBlocked { .. } => self.dropped_blocked += 1,
+            TraceEvent::DroppedMissing { .. } => self.dropped_missing += 1,
+            _ => {}
+        }
+        if self.enabled {
+            if self.events.len() < self.cap {
+                self.events.push(ev);
+            } else {
+                self.overflow += 1;
+            }
+        }
+    }
+
+    /// Recorded events (empty when disabled).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Clear recorded events and counters.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.overflow = 0;
+        self.dropped_blocked = 0;
+        self.dropped_missing = 0;
+        self.delivered = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_work_when_disabled() {
+        let mut t = Trace::counters_only();
+        t.record(TraceEvent::Delivered { round: 0, from: NodeId(1), to: NodeId(2) });
+        t.record(TraceEvent::DroppedBlocked { round: 0, from: NodeId(1), to: NodeId(3) });
+        assert_eq!(t.delivered, 1);
+        assert_eq!(t.dropped_blocked, 1);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_event_log() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.record(TraceEvent::NodeAdded { round: i, node: NodeId(i) });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.overflow, 3);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = Trace::with_capacity(8);
+        t.record(TraceEvent::Delivered { round: 0, from: NodeId(1), to: NodeId(2) });
+        t.clear();
+        assert_eq!(t.delivered, 0);
+        assert!(t.events().is_empty());
+    }
+}

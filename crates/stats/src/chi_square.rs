@@ -1,0 +1,173 @@
+//! Chi-square goodness-of-fit testing.
+//!
+//! Used to check the uniformity claims: Theorem 3 (exactly uniform
+//! hypercube samples), Theorem 2 / Lemma 2 (almost uniform H-graph
+//! samples), and Lemma 10 (uniformly random reconfigured Hamilton cycles).
+
+/// The chi-square statistic of observed counts against expected counts.
+///
+/// Panics if the slices differ in length or any expectation is
+/// non-positive.
+pub fn chi_square_stat(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected count must be positive");
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Chi-square statistic and p-value of observed counts against the uniform
+/// distribution over `observed.len()` cells.
+///
+/// Returns `(statistic, p_value)` with `df = len - 1`.
+pub fn uniform_fit(observed: &[u64]) -> (f64, f64) {
+    assert!(observed.len() >= 2, "need at least 2 cells");
+    let total: u64 = observed.iter().sum();
+    let e = total as f64 / observed.len() as f64;
+    let expected = vec![e; observed.len()];
+    let stat = chi_square_stat(observed, &expected);
+    (stat, chi_square_pvalue(stat, (observed.len() - 1) as f64))
+}
+
+/// Upper-tail p-value `P[X >= stat]` for a chi-square distribution with
+/// `df` degrees of freedom: the regularized upper incomplete gamma
+/// `Q(df/2, stat/2)`.
+pub fn chi_square_pvalue(stat: f64, df: f64) -> f64 {
+    assert!(df > 0.0);
+    if stat <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(df / 2.0, stat / 2.0)
+}
+
+/// `ln Γ(x)` by the Lanczos approximation (|error| < 2e-10 for x > 0).
+fn ln_gamma(x: f64) -> f64 {
+    const COF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x)` by series expansion
+/// (valid for `x < a + 1`).
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-14 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)` by continued fraction
+/// (valid for `x >= a + 1`).
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-14 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 - P(a, x)`.
+fn gamma_q(a: f64, x: f64) -> f64 {
+    if x < a + 1.0 {
+        (1.0 - gamma_p_series(a, x)).clamp(0.0, 1.0)
+    } else {
+        gamma_q_cf(a, x).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_of_perfect_fit_is_zero() {
+        let obs = [25u64, 25, 25, 25];
+        let exp = [25.0; 4];
+        assert_eq!(chi_square_stat(&obs, &exp), 0.0);
+    }
+
+    #[test]
+    fn known_pvalues() {
+        // Reference values from standard chi-square tables.
+        assert!((chi_square_pvalue(3.841, 1.0) - 0.05).abs() < 1e-3);
+        assert!((chi_square_pvalue(18.307, 10.0) - 0.05).abs() < 1e-3);
+        assert!((chi_square_pvalue(2.706, 1.0) - 0.10).abs() < 1e-3);
+        assert!((chi_square_pvalue(23.209, 10.0) - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pvalue_edges() {
+        assert_eq!(chi_square_pvalue(0.0, 5.0), 1.0);
+        assert!(chi_square_pvalue(1e6, 5.0) < 1e-12);
+    }
+
+    #[test]
+    fn uniform_fit_accepts_uniform_data() {
+        // Mildly noisy uniform counts should give a comfortable p-value.
+        let obs = [103u64, 97, 99, 101, 95, 105];
+        let (stat, p) = uniform_fit(&obs);
+        assert!(stat < 2.0, "stat {stat}");
+        assert!(p > 0.5, "p {p}");
+    }
+
+    #[test]
+    fn uniform_fit_rejects_skewed_data() {
+        let obs = [500u64, 10, 10, 10, 10, 10];
+        let (_, p) = uniform_fit(&obs);
+        assert!(p < 1e-6);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        assert!((ln_gamma(5.0) - (24f64).ln()).abs() < 1e-9);
+        assert!((ln_gamma(1.0)).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+}

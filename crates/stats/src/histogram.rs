@@ -1,0 +1,125 @@
+//! Integer-valued histograms (counts per outcome), used by the uniformity
+//! tests over node samples and group assignments.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A frequency count over hashable outcomes.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Histogram<T: Eq + Hash> {
+    counts: HashMap<T, u64>,
+    total: u64,
+}
+
+impl<T: Eq + Hash> Histogram<T> {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self { counts: HashMap::new(), total: 0 }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, value: T) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Record `k` observations of `value`.
+    pub fn add_n(&mut self, value: T, k: u64) {
+        *self.counts.entry(value).or_insert(0) += k;
+        self.total += k;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct outcomes observed.
+    pub fn support(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of a specific outcome (0 if never seen).
+    pub fn count(&self, value: &T) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(outcome, count)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&T, u64)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// The raw counts as a vector (arbitrary order) — the input format of
+    /// the chi-square and TV tests. Outcomes never observed must be
+    /// appended by the caller as zeros (the tests take the support size).
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts.values().copied().collect()
+    }
+
+    /// Counts including `support_size - support()` implicit zeros, for
+    /// tests over a known finite outcome space.
+    pub fn counts_with_zeros(&self, support_size: usize) -> Vec<u64> {
+        assert!(
+            support_size >= self.counts.len(),
+            "support_size {support_size} smaller than observed support {}",
+            self.counts.len()
+        );
+        let mut v = self.counts();
+        v.resize(support_size, 0);
+        v
+    }
+
+    /// Largest single count.
+    pub fn max_count(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+impl<T: Eq + Hash> FromIterator<T> for Histogram<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut h = Self::new();
+        for v in iter {
+            h.add(v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let h: Histogram<u32> = [1, 2, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.support(), 3);
+        assert_eq!(h.count(&3), 3);
+        assert_eq!(h.count(&9), 0);
+        assert_eq!(h.max_count(), 3);
+    }
+
+    #[test]
+    fn counts_with_zeros_pads() {
+        let h: Histogram<u32> = [1, 1].into_iter().collect();
+        let c = h.counts_with_zeros(4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than observed")]
+    fn counts_with_zeros_rejects_small_support() {
+        let h: Histogram<u32> = [1, 2, 3].into_iter().collect();
+        h.counts_with_zeros(2);
+    }
+
+    #[test]
+    fn add_n_bulk() {
+        let mut h = Histogram::new();
+        h.add_n("x", 5);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(&"x"), 5);
+    }
+}

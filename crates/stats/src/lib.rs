@@ -1,0 +1,29 @@
+//! # overlay-stats — statistics for verifying the paper's probabilistic claims
+//!
+//! Provides the estimators the experiment harness uses to check w.h.p.
+//! statements empirically:
+//!
+//! * [`chi_square`] — goodness-of-fit against the uniform (and arbitrary)
+//!   distributions, for the uniformity claims of Theorems 2/3 and Lemma 10.
+//! * [`tv`] — total-variation distance between empirical and target
+//!   distributions (the "almost uniform" bound of Lemma 2).
+//! * [`histogram`] / [`summary`] — descriptive statistics for group sizes,
+//!   congestion, segment lengths.
+//! * [`chernoff`] — the paper's Chernoff bounds (Lemma 1) as calculators,
+//!   used to size constants like `c` in Lemma 7 and Lemma 16.
+//! * [`shape`] — growth-shape fitting to distinguish `Θ(log log n)` from
+//!   `Θ(log n)` round-count series (the exponential-improvement claim).
+
+pub mod chernoff;
+pub mod chi_square;
+pub mod histogram;
+pub mod shape;
+pub mod summary;
+pub mod tv;
+
+pub use chernoff::{chernoff_lower, chernoff_upper, smallest_c_for_whp};
+pub use chi_square::{chi_square_pvalue, chi_square_stat, uniform_fit};
+pub use histogram::Histogram;
+pub use shape::{fit_loglog, fit_log, GrowthFit};
+pub use summary::Summary;
+pub use tv::{tv_distance_uniform, tv_distance};

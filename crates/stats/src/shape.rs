@@ -1,0 +1,97 @@
+//! Growth-shape fitting.
+//!
+//! The headline quantitative claim of the paper is that rapid node sampling
+//! and reconfiguration take `Θ(log log n)` rounds while the plain
+//! random-walk approach needs `Θ(log n)` — an exponential separation. The
+//! experiments verify the *shape* of measured round counts by least-squares
+//! fitting `y = a + b·f(n)` for `f = log2` and `f = log2 ∘ log2` and
+//! comparing goodness of fit.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of fitting `y = a + b * f(n)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GrowthFit {
+    /// Intercept.
+    pub a: f64,
+    /// Slope with respect to the transformed predictor.
+    pub b: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r2: f64,
+}
+
+/// Least-squares fit of `y = a + b * x`.
+fn linear_fit(x: &[f64], y: &[f64]) -> GrowthFit {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let sxx: f64 = x.iter().map(|a| (a - mx).powi(2)).sum();
+    let b = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let a = my - b * mx;
+    let ss_res: f64 = x.iter().zip(y).map(|(xi, yi)| (yi - (a + b * xi)).powi(2)).sum();
+    let ss_tot: f64 = y.iter().map(|yi| (yi - my).powi(2)).sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    GrowthFit { a, b, r2 }
+}
+
+/// Fit `y = a + b * log2(n)`.
+pub fn fit_log(ns: &[u64], ys: &[f64]) -> GrowthFit {
+    let x: Vec<f64> = ns.iter().map(|&n| (n.max(2) as f64).log2()).collect();
+    linear_fit(&x, ys)
+}
+
+/// Fit `y = a + b * log2(log2(n))`.
+pub fn fit_loglog(ns: &[u64], ys: &[f64]) -> GrowthFit {
+    let x: Vec<f64> = ns.iter().map(|&n| (n.max(4) as f64).log2().log2()).collect();
+    linear_fit(&x, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns() -> Vec<u64> {
+        (8..=24).map(|e| 1u64 << e).collect()
+    }
+
+    #[test]
+    fn loglog_series_prefers_loglog_fit() {
+        let ns = ns();
+        let ys: Vec<f64> =
+            ns.iter().map(|&n| 3.0 + 2.0 * (n as f64).log2().log2()).collect();
+        let ll = fit_loglog(&ns, &ys);
+        let l = fit_log(&ns, &ys);
+        assert!(ll.r2 > 0.999);
+        assert!((ll.b - 2.0).abs() < 1e-9);
+        assert!(ll.r2 > l.r2);
+    }
+
+    #[test]
+    fn log_series_prefers_log_fit() {
+        let ns = ns();
+        let ys: Vec<f64> = ns.iter().map(|&n| 1.0 + 0.5 * (n as f64).log2()).collect();
+        let l = fit_log(&ns, &ys);
+        let ll = fit_loglog(&ns, &ys);
+        assert!(l.r2 > 0.999);
+        assert!((l.b - 0.5).abs() < 1e-9);
+        assert!(l.r2 > ll.r2);
+    }
+
+    #[test]
+    fn constant_series_has_zero_slope() {
+        let ns = ns();
+        let ys = vec![7.0; ns.len()];
+        let fit = fit_log(&ns, &ys);
+        assert_eq!(fit.b, 0.0);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn single_point_rejected() {
+        fit_log(&[1024], &[3.0]);
+    }
+}

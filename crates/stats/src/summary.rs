@@ -1,0 +1,106 @@
+//! Descriptive statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample: mean, standard deviation, min/max and
+/// selected percentiles.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns the zero summary for empty input.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Self {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+        }
+    }
+
+    /// Summarize integer-valued observations.
+    pub fn of_ints<I: IntoIterator<Item = u64>>(values: I) -> Self {
+        let v: Vec<f64> = values.into_iter().map(|x| x as f64).collect();
+        Self::of(&v)
+    }
+}
+
+/// Percentile by the nearest-rank method on a pre-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q));
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[idx - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&v);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    #[test]
+    fn of_ints_converts() {
+        let s = Summary::of_ints([2u64, 4, 6]);
+        assert_eq!(s.mean, 4.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Total-variation distance.
+//!
+//! Lemma 2 bounds the pointwise deviation of the walk distribution from
+//! uniform by `n^-alpha`; the corresponding aggregate measure is the
+//! total-variation distance, which the sampling experiments report.
+
+/// Total-variation distance between two distributions given as
+/// probability vectors: `0.5 * sum |p_i - q_i|`.
+pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Total-variation distance of empirical counts from the uniform
+/// distribution over `support` outcomes. `counts` may omit zero cells;
+/// the remaining `support - counts.len()` cells are treated as zeros.
+pub fn tv_distance_uniform(counts: &[u64], support: usize) -> f64 {
+    assert!(support >= counts.len(), "support smaller than observed cells");
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let u = 1.0 / support as f64;
+    let observed: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 / total as f64 - u).abs())
+        .sum();
+    let missing = (support - counts.len()) as f64 * u;
+    0.5 * (observed + missing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        assert_eq!(tv_distance(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_distance_one() {
+        assert_eq!(tv_distance(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn uniform_counts_have_small_distance() {
+        let counts = [100u64, 100, 100, 100];
+        assert_eq!(tv_distance_uniform(&counts, 4), 0.0);
+    }
+
+    #[test]
+    fn concentrated_counts_have_large_distance() {
+        // Everything on one of 4 cells: TV = 0.5 * (3/4 + 3 * 1/4) = 0.75.
+        let counts = [400u64, 0, 0, 0];
+        assert!((tv_distance_uniform(&counts, 4) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implicit_zero_cells_count() {
+        // Uniform over observed 2 cells, but support is 4.
+        let counts = [50u64, 50];
+        // each observed cell: |1/2 - 1/4| = 1/4; missing mass 2 * 1/4.
+        assert!((tv_distance_uniform(&counts, 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_are_zero_distance() {
+        assert_eq!(tv_distance_uniform(&[], 10), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! An expander overlay surviving adversarial churn (Section 4).
+//!
+//! Runs the continuously reconfiguring H-graph under an omniscient
+//! oldest-first churn adversary at rate 2 and prints per-epoch health.
+//!
+//! ```sh
+//! cargo run --release --example churn_survival
+//! ```
+
+use overlay_adversary::churn::{ChurnSchedule, ChurnStrategy};
+use reconfig_core::config::SamplingParams;
+use reconfig_core::reconfig::ExpanderOverlay;
+
+fn main() {
+    let mut overlay = ExpanderOverlay::new(128, 8, SamplingParams::default(), 1);
+    let mut churn = ChurnSchedule::new(ChurnStrategy::OldestFirst, 2.0, 0.5, 1_000_000);
+    let mut rng = simnet::rng::stream(1, 0, 99);
+
+    println!("expander overlay under oldest-first churn, rate 2.0");
+    println!();
+    println!(
+        "{:>6} {:>6} {:>7} {:>7} {:>8} {:>11} {:>10} {:>10}",
+        "epoch", "n", "joined", "left", "rounds", "congestion", "max empty", "connected"
+    );
+    for epoch in 1..=10 {
+        let ev = churn.next(overlay.members(), &mut rng);
+        overlay.apply_churn(&ev);
+        let m = overlay.reconfigure();
+        println!(
+            "{:>6} {:>6} {:>7} {:>7} {:>8} {:>11} {:>10} {:>10}",
+            epoch,
+            m.n,
+            m.joined,
+            m.left,
+            m.rounds,
+            m.max_congestion,
+            m.max_empty_segment,
+            overlay.is_connected()
+        );
+        assert!(overlay.is_connected(), "Theorem 5: connectivity must hold");
+    }
+    println!();
+    println!(
+        "after 10 epochs the membership turned over heavily; the overlay \
+         never lost connectivity (Theorem 5)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Robust key-value store and publish-subscribe (Sections 7.2, 7.3).
+//!
+//! Writes a working set into the RoBuSt-style DHT, reconfigures the group
+//! overlay (data does not move), blocks the Theorem 8 budget of servers,
+//! and reads everything back; then demonstrates pub-sub on top.
+//!
+//! ```sh
+//! cargo run --release --example robust_kv
+//! ```
+
+use overlay_apps::dht::{DhtOp, RobustDht};
+use overlay_apps::pubsub::PubSub;
+use simnet::{BlockSet, NodeId};
+
+fn main() {
+    let n = 1024usize;
+    let mut dht = RobustDht::new(n, 2.0, 9);
+    let none = BlockSet::none();
+    println!("robust DHT: {n} servers, redundancy {}", dht.redundancy());
+
+    // Write a batch.
+    let ops: Vec<DhtOp> = (0..200u64).map(|k| DhtOp::Write { key: k, value: k * k }).collect();
+    let m = dht.serve_batch(&ops, &none);
+    println!(
+        "write batch  : {}/{} completed in {} rounds, congestion {}",
+        m.completed, m.requests, m.rounds, m.congestion
+    );
+
+    // Reconfigure: groups resample, data stays put.
+    for _ in 0..dht.epoch_len() {
+        dht.step(&none);
+    }
+    println!("reconfigured : group overlay resampled (data not moved)");
+
+    // Attack within the Theorem 8 budget, then read everything back.
+    let budget = RobustDht::blocking_budget(n, 1.0);
+    let blocked: BlockSet = (0..budget as u64).map(|i| NodeId(i * 31 % n as u64)).collect();
+    let mut ok = 0;
+    for k in 0..200u64 {
+        if dht.read(k, &blocked) == Ok(k * k) {
+            ok += 1;
+        }
+    }
+    println!("under attack : {ok}/200 reads correct with {budget} servers blocked");
+    assert_eq!(ok, 200);
+
+    // Publish-subscribe on top.
+    let mut ps = PubSub::new(n, 10);
+    ps.publish_batch(&[(7, 700), (7, 701), (8, 800)], &none).unwrap();
+    let news = ps.fetch(7, &none).unwrap();
+    println!("pub-sub      : topic 7 -> {news:?}");
+    assert_eq!(news, vec![700, 701]);
+}

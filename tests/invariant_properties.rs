@@ -1,0 +1,142 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! paper's invariants.
+
+use overlay_graphs::hamilton::HamiltonCycle;
+use overlay_graphs::prefix::{Label, PrefixCover};
+use overlay_graphs::{HGraph, Hypercube, KaryHypercube, UnionFind};
+use proptest::prelude::*;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use reconfig_core::churndos::{LabeledGroups, SizeBand};
+use reconfig_core::config::{Schedule, SamplingParams};
+use simnet::{BlockSet, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hamilton_cycle_successor_is_a_bijection(n in 3usize..60, seed in 0u64..1000) {
+        let nodes: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let c = HamiltonCycle::random(&nodes, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for &v in &nodes {
+            prop_assert!(seen.insert(c.successor(v)), "successor not injective");
+            prop_assert_eq!(c.predecessor(c.successor(v)), v);
+        }
+        // Following successors visits every node exactly once.
+        let mut cur = nodes[0];
+        for _ in 0..n {
+            cur = c.successor(cur);
+        }
+        prop_assert_eq!(cur, nodes[0]);
+    }
+
+    #[test]
+    fn hgraph_is_always_connected_and_regular(n in 4usize..48, half_d in 1usize..4, seed in 0u64..500) {
+        let d = 2 * half_d;
+        let nodes: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = HGraph::random(&nodes, d, &mut rng);
+        for &v in g.nodes() {
+            prop_assert_eq!(g.neighbors(v).len(), d);
+        }
+        prop_assert!(overlay_graphs::connectivity::is_connected(&g.adjacency()));
+    }
+
+    #[test]
+    fn hypercube_routes_have_hamming_length(dim in 2u32..10, a in 0u64..1024, b in 0u64..1024) {
+        let h = Hypercube::new(dim);
+        let (a, b) = (a % h.len(), b % h.len());
+        prop_assert_eq!(h.distance(a, b), (a ^ b).count_ones());
+        prop_assert!(h.distance(a, b) <= h.diameter());
+    }
+
+    #[test]
+    fn kary_route_fixes_digits_left_to_right(k in 2u64..6, dim in 1u32..5, a in 0u64..4096, b in 0u64..4096) {
+        let g = KaryHypercube::new(k, dim);
+        let (a, b) = (a % g.len(), b % g.len());
+        let path = g.route(a, b);
+        prop_assert_eq!(*path.last().unwrap(), b);
+        prop_assert_eq!(path.len() as u32 - 1, g.distance(a, b));
+        for w in path.windows(2) {
+            prop_assert_eq!(g.distance(w[0], w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn union_find_components_match_edge_structure(n in 2usize..64, edges in prop::collection::vec((0usize..64, 0usize..64), 0..80)) {
+        let mut uf = UnionFind::new(n);
+        let mut merges = 0;
+        for (a, b) in edges {
+            let (a, b) = (a % n, b % n);
+            if a != b && uf.union(a, b) {
+                merges += 1;
+            }
+        }
+        prop_assert_eq!(uf.components(), n - merges);
+    }
+
+    #[test]
+    fn prefix_cover_split_merge_roundtrip(dim in 1u8..5, path in prop::collection::vec(0u8..2, 0..4), seed in 0u64..100) {
+        let mut cover = PrefixCover::uniform(dim);
+        // Split along a random path, then merge everything back.
+        let mut l = Label::new(0, dim);
+        for b in path {
+            let (c0, c1) = cover.split(l);
+            prop_assert!(cover.is_exact_cover());
+            l = if b == 0 { c0 } else { c1 };
+        }
+        let _ = seed;
+        while cover.len() > (1usize << dim) {
+            // Merge the deepest label (its sibling is present at max depth).
+            let deepest = *cover.iter().max_by_key(|x| x.dim()).unwrap();
+            cover.merge(deepest);
+            prop_assert!(cover.is_exact_cover());
+        }
+        prop_assert_eq!(cover.len(), 1usize << dim);
+    }
+
+    #[test]
+    fn labeled_groups_rebalance_always_lands_in_band(n in 60usize..400, c in 2usize..6, seed in 0u64..200) {
+        let nodes: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut lg = LabeledGroups::random(&nodes, 2, &mut rng);
+        let band = SizeBand { c };
+        if lg.rebalance(band, &mut rng).is_ok() {
+            for (l, g) in lg.iter() {
+                prop_assert!(band.ok(l.dim(), g.len()), "label {:?} size {}", l, g.len());
+            }
+            prop_assert_eq!(lg.len(), n);
+        }
+    }
+
+    #[test]
+    fn schedule_m_is_geometric_and_sufficient(exp in 4u32..20, eps_pct in 10u32..100, c_tenths in 10u32..60) {
+        let p = SamplingParams {
+            alpha: 1.0,
+            beta: 1.0,
+            epsilon: eps_pct as f64 / 100.0,
+            c: c_tenths as f64 / 10.0,
+        };
+        let s = Schedule::algorithm1(1usize << exp, 8, &p);
+        for i in 1..=s.iterations {
+            prop_assert!(s.m_at(i - 1) >= s.m_at(i));
+        }
+        prop_assert!(s.final_size() >= (p.c * exp as f64).floor() as usize);
+    }
+
+    #[test]
+    fn blockset_delivery_rule_is_monotone(senders in prop::collection::vec(0u64..20, 1..10)) {
+        // Blocking more nodes never delivers more messages.
+        let small: BlockSet = senders.iter().take(2).map(|&i| NodeId(i)).collect();
+        let big: BlockSet = senders.iter().map(|&i| NodeId(i)).collect();
+        for &s in &senders {
+            for t in 0..20u64 {
+                let d_small = simnet::fault::delivered(NodeId(s), NodeId(t), &small, &small);
+                let d_big = simnet::fault::delivered(NodeId(s), NodeId(t), &big, &big);
+                prop_assert!(d_big <= d_small, "blocking more delivered more");
+            }
+        }
+    }
+}
