@@ -94,7 +94,11 @@ impl DosAdversary {
     }
 }
 
-fn pick_random<R: Rng + ?Sized>(view: &TopologySnapshot, budget: usize, rng: &mut R) -> Vec<NodeId> {
+fn pick_random<R: Rng + ?Sized>(
+    view: &TopologySnapshot,
+    budget: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
     let mut nodes = view.nodes.clone();
     nodes.shuffle(rng);
     nodes.truncate(budget);
@@ -111,7 +115,11 @@ fn adjacency_map(view: &TopologySnapshot) -> HashMap<NodeId, Vec<NodeId>> {
     adj
 }
 
-fn pick_isolate<R: Rng + ?Sized>(view: &TopologySnapshot, budget: usize, rng: &mut R) -> Vec<NodeId> {
+fn pick_isolate<R: Rng + ?Sized>(
+    view: &TopologySnapshot,
+    budget: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
     let adj = adjacency_map(view);
     if adj.is_empty() {
         return Vec::new();
@@ -159,9 +167,8 @@ fn pick_group_targeted<R: Rng + ?Sized>(
         nbrs[b as usize].push(a);
     }
     // Choose the victim group whose neighborhood is cheapest to block.
-    let cost = |gi: usize| -> usize {
-        nbrs[gi].iter().map(|&j| view.groups[j as usize].len()).sum()
-    };
+    let cost =
+        |gi: usize| -> usize { nbrs[gi].iter().map(|&j| view.groups[j as usize].len()).sum() };
     let mut order: Vec<usize> = (0..g).collect();
     order.sort_by_key(|&gi| (cost(gi), gi));
     let mut blocked: HashSet<NodeId> = HashSet::new();
@@ -197,7 +204,11 @@ fn pick_group_targeted<R: Rng + ?Sized>(
     out
 }
 
-fn pick_bisection<R: Rng + ?Sized>(view: &TopologySnapshot, budget: usize, rng: &mut R) -> Vec<NodeId> {
+fn pick_bisection<R: Rng + ?Sized>(
+    view: &TopologySnapshot,
+    budget: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
     let adj = adjacency_map(view);
     let Some(&start) = view.nodes.first() else { return Vec::new() };
     // BFS until half the nodes are inside.
@@ -222,19 +233,13 @@ fn pick_bisection<R: Rng + ?Sized>(view: &TopologySnapshot, budget: usize, rng: 
     let mut boundary: Vec<NodeId> = inside
         .iter()
         .copied()
-        .filter(|v| {
-            adj.get(v).is_some_and(|ns| ns.iter().any(|w| !inside.contains(w)))
-        })
+        .filter(|v| adj.get(v).is_some_and(|ns| ns.iter().any(|w| !inside.contains(w))))
         .collect();
     boundary.sort_by_key(|v| v.raw());
     boundary.truncate(budget);
     // Leftover: random fills.
-    let mut rest: Vec<NodeId> = view
-        .nodes
-        .iter()
-        .copied()
-        .filter(|v| !boundary.contains(v))
-        .collect();
+    let mut rest: Vec<NodeId> =
+        view.nodes.iter().copied().filter(|v| !boundary.contains(v)).collect();
     rest.shuffle(rng);
     while boundary.len() < budget {
         match rest.pop() {
@@ -305,9 +310,8 @@ mod tests {
         let b = adv.block(0, 12);
         assert_eq!(b.len(), 6);
         // Some group's full neighborhood (two groups of 3) must be inside.
-        let fully_blocked: Vec<usize> = (0..4)
-            .filter(|&g| groups[g].iter().all(|v| b.contains(*v)))
-            .collect();
+        let fully_blocked: Vec<usize> =
+            (0..4).filter(|&g| groups[g].iter().all(|v| b.contains(*v))).collect();
         assert_eq!(fully_blocked.len(), 2, "two whole neighbor groups blocked");
     }
 

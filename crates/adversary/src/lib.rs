@@ -12,11 +12,16 @@
 //!   buffer. Includes a 0-late control adversary that demonstrates the
 //!   impossibility result (any polylog-degree overlay can be disconnected
 //!   by a current-topology adversary).
+//! * [`fuzz`] — seed-driven generation of paper-legal fault schedules
+//!   (random strategy/bound/lateness/rate combinations within the limits
+//!   above) for the fuzz-testing harness.
 
 pub mod churn;
 pub mod dos;
+pub mod fuzz;
 pub mod lateness;
 
 pub use churn::{ChurnEvent, ChurnSchedule, ChurnStrategy};
 pub use dos::{DosAdversary, DosStrategy};
-pub use lateness::{TopologySnapshot, TopologyHistory};
+pub use fuzz::{FaultPlan, FuzzLimits};
+pub use lateness::{TopologyHistory, TopologySnapshot};

@@ -21,8 +21,8 @@ pub mod store;
 
 use kary_groups::KaryGroups;
 use rand::RngExt;
-use routing::{route_batch, Packet};
 use reconfig_core::config::{SamplingParams, Schedule};
+use routing::{route_batch, Packet};
 use serde::{Deserialize, Serialize};
 use simnet::rng::NodeRng;
 use simnet::{BlockSet, NodeId};
@@ -88,8 +88,7 @@ impl RobustDht {
         let redundancy = ((n.max(4) as f64).log2().ceil() as usize).max(3);
         // Epoch length mirrors the Section 5 derivation on the supernode
         // population (power-of-two-rounded binary dimension).
-        let sched_dim =
-            (groups.cube().dim().max(2) as usize).next_power_of_two() as u32;
+        let sched_dim = (groups.cube().dim().max(2) as usize).next_power_of_two() as u32;
         let schedule = Schedule::algorithm2(sched_dim, &SamplingParams::default());
         let epoch_len = 2 * schedule.rounds() as u64 + 4;
         Self {
@@ -141,11 +140,10 @@ impl RobustDht {
     /// epoch-boundary group resampling, as in Section 5).
     pub fn step(&mut self, blocked: &BlockSet) {
         self.round += 1;
-        let ok = self
-            .groups
-            .groups()
-            .iter()
-            .all(|g| g.iter().any(|v| !self.prev_blocked.contains(*v) && !blocked.contains(*v)));
+        let ok =
+            self.groups.groups().iter().all(|g| {
+                g.iter().any(|v| !self.prev_blocked.contains(*v) && !blocked.contains(*v))
+            });
         if !ok {
             self.epoch_ok = false;
         }
@@ -183,11 +181,7 @@ impl RobustDht {
             };
             for srv in replica_servers(key, self.len() as u64, self.redundancy) {
                 let entry = self.rng.random_range(0..self.groups.cube().len());
-                packets.push(Packet {
-                    entry,
-                    target: self.groups.home_supernode(srv),
-                    key,
-                });
+                packets.push(Packet { entry, target: self.groups.home_supernode(srv), key });
                 packet_meta.push((op_idx, srv));
             }
         }
@@ -213,8 +207,9 @@ impl RobustDht {
             }
         }
         let quorum = self.redundancy / 2 + 1;
-        let completed =
-            (0..ordered.len()).filter(|i| reached_per_op.get(i).copied().unwrap_or(0) >= quorum).count();
+        let completed = (0..ordered.len())
+            .filter(|i| reached_per_op.get(i).copied().unwrap_or(0) >= quorum)
+            .count();
 
         BatchMetrics {
             requests: ops.len(),

@@ -179,12 +179,8 @@ mod tests {
         let c = cube();
         // Route 0 -> 63: first hop goes to position with digit0 = 3.
         let first_hop = c.with_digit(0, 0, 3);
-        let out = route_batch(
-            &c,
-            &[Packet { entry: 0, target: 63, key: 1 }],
-            8,
-            |x| x == first_hop,
-        );
+        let out =
+            route_batch(&c, &[Packet { entry: 0, target: 63, key: 1 }], 8, |x| x == first_hop);
         assert_eq!(out.delivered, vec![false]);
         assert_eq!(out.dropped, 1);
     }

@@ -82,12 +82,7 @@ impl PubSub {
             self.dht.write(topic, m + payloads.len() as u64, blocked)?;
             rounds += 1;
         }
-        Ok(PublishMetrics {
-            submitted: pubs.len(),
-            stored,
-            topics: by_topic.len(),
-            rounds,
-        })
+        Ok(PublishMetrics { submitted: pubs.len(), stored, topics: by_topic.len(), rounds })
     }
 
     /// Fetch all publications of a topic, oldest first.
@@ -109,9 +104,7 @@ mod tests {
     fn publish_then_fetch_roundtrip() {
         let mut ps = PubSub::new(512, 1);
         let none = BlockSet::none();
-        let m = ps
-            .publish_batch(&[(7, 100), (7, 101), (9, 200)], &none)
-            .unwrap();
+        let m = ps.publish_batch(&[(7, 100), (7, 101), (9, 200)], &none).unwrap();
         assert_eq!(m.stored, 3);
         assert_eq!(m.topics, 2);
         assert_eq!(ps.fetch(7, &none).unwrap(), vec![100, 101]);

@@ -24,8 +24,7 @@ fn bench_dht_batch(c: &mut Criterion) {
     group.bench_function("n1024_b256", |b| {
         let mut dht = RobustDht::new(1024, 2.0, 2);
         let none = BlockSet::none();
-        let ops: Vec<DhtOp> =
-            (0..256u64).map(|k| DhtOp::Write { key: k, value: k }).collect();
+        let ops: Vec<DhtOp> = (0..256u64).map(|k| DhtOp::Write { key: k, value: k }).collect();
         b.iter(|| dht.serve_batch(&ops, &none))
     });
     group.finish();

@@ -61,11 +61,5 @@ fn bench_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_alg1_message_level,
-    bench_alg1_direct,
-    bench_alg2,
-    bench_baseline
-);
+criterion_group!(benches, bench_alg1_message_level, bench_alg1_direct, bench_alg2, bench_baseline);
 criterion_main!(benches);

@@ -21,8 +21,7 @@ fn main() {
     let mut rows = Vec::new();
     for &lateness in &[0u64, t / 4, t / 2, t, 2 * t, 4 * t] {
         let mut ov = DosOverlay::new(n, DosParams::default(), 1200);
-        let mut adv =
-            DosAdversary::new(DosStrategy::GroupTargeted, 0.3, lateness, 1300 + lateness);
+        let mut adv = DosAdversary::new(DosStrategy::GroupTargeted, 0.3, lateness, 1300 + lateness);
         let run = ov.run(&mut adv, 4 * t);
         table.row(vec![
             format!("{lateness} ({}t)", f(lateness as f64 / t as f64)),

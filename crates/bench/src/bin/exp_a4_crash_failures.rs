@@ -40,11 +40,8 @@ fn main() {
         // The DoS adversary keeps 30 *live* nodes silent for the first 4
         // epochs (well within its (1/2 - eps) budget), disjoint from the
         // crashed set so the bookkeeping below is unambiguous.
-        let blocked: HashSet<NodeId> = (0..n as u64)
-            .map(NodeId)
-            .filter(|v| !victims.contains(v))
-            .take(blocked_live)
-            .collect();
+        let blocked: HashSet<NodeId> =
+            (0..n as u64).map(NodeId).filter(|v| !victims.contains(v)).take(blocked_live).collect();
         let group_of = |v: NodeId| -> Vec<NodeId> {
             (1..=contact_set as u64).map(|i| NodeId((v.raw() + i) % n as u64)).collect()
         };

@@ -24,10 +24,7 @@ fn cube_adj(dim: u32) -> Adjacency {
     let edges: Vec<(NodeId, NodeId)> = h
         .vertices()
         .flat_map(|v| {
-            h.neighbors(v)
-                .into_iter()
-                .filter(move |&w| w > v)
-                .map(move |w| (NodeId(v), NodeId(w)))
+            h.neighbors(v).into_iter().filter(move |&w| w > v).map(move |w| (NodeId(v), NodeId(w)))
         })
         .collect();
     Adjacency::from_edges(&nodes, &edges)

@@ -28,10 +28,8 @@ fn main() {
     {
         for &rate in &[1.5f64, 2.0, 4.0] {
             let n0 = 96usize;
-            let mut ov =
-                ExpanderOverlay::new(n0, 8, SamplingParams::default(), 400 + si as u64);
-            let mut sched =
-                ChurnSchedule::new(strategy, rate, 0.5, 1_000_000 * (si as u64 + 1));
+            let mut ov = ExpanderOverlay::new(n0, 8, SamplingParams::default(), 400 + si as u64);
+            let mut sched = ChurnSchedule::new(strategy, rate, 0.5, 1_000_000 * (si as u64 + 1));
             let mut rng = simnet::rng::stream(500 + si as u64, 0, rate.to_bits());
             let mut connected_epochs = 0u64;
             for _ in 0..epochs {

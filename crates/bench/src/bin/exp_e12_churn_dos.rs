@@ -28,8 +28,7 @@ fn main() {
                 lateness,
                 801 + (gamma * 100.0) as u64,
             );
-            let mut churn =
-                ChurnSchedule::new(ChurnStrategy::Random, gamma, 0.8, 10_000_000);
+            let mut churn = ChurnSchedule::new(ChurnStrategy::Random, gamma, 0.8, 10_000_000);
             let mut rng = simnet::rng::stream(802, gamma.to_bits(), frac.to_bits());
             let run = ov.run_under_attack(&mut adv, &mut churn, epochs, &mut rng);
             let (d_lo, d_hi) = ov.groups().cover().dim_range().unwrap();

@@ -35,11 +35,7 @@ fn main() {
         for _ in 0..4 * anon.overlay().epoch_len() {
             let round = anon.overlay().round();
             adv.observe(anon.overlay().grouped().snapshot(round));
-            let blocked = if frac == 0.0 {
-                simnet::BlockSet::none()
-            } else {
-                adv.block(round, n)
-            };
+            let blocked = if frac == 0.0 { simnet::BlockSet::none() } else { adv.block(round, n) };
             let out = anon.exchange(&blocked);
             anon.overlay_mut().step(&blocked);
             total += 1;

@@ -23,8 +23,7 @@ fn main() {
         // Within budget (0x, 1x, 4x the Theorem 8 allowance) plus two
         // far-over-budget control rows (25% and 45% of all servers) that
         // show the guarantee genuinely degrading outside its regime.
-        let blocked_counts =
-            [0usize, budget, 4 * budget, n / 4, (45 * n) / 100];
+        let blocked_counts = [0usize, budget, 4 * budget, n / 4, (45 * n) / 100];
         for &blocked_count in &blocked_counts {
             let mut dht = RobustDht::new(n, 2.0, 1000 + exp as u64);
             let none = BlockSet::none();
@@ -34,15 +33,13 @@ fn main() {
             let pm = dht.serve_batch(&preload, &none);
             assert_eq!(pm.completed, pm.requests);
 
-            let blocked: BlockSet = (0..blocked_count as u64)
-                .map(|i| NodeId((i * 131) % n as u64))
-                .collect();
+            let blocked: BlockSet =
+                (0..blocked_count as u64).map(|i| NodeId((i * 131) % n as u64)).collect();
             // Reconfigure under the attack, then serve a read batch.
             for _ in 0..dht.epoch_len() {
                 dht.step(&blocked);
             }
-            let reads: Vec<DhtOp> =
-                (0..n as u64 / 4).map(|k| DhtOp::Read { key: k }).collect();
+            let reads: Vec<DhtOp> = (0..n as u64 / 4).map(|k| DhtOp::Read { key: k }).collect();
             let m = dht.serve_batch(&reads, &blocked);
             let log3 = (n as f64).log2().powi(3);
             table.row(vec![

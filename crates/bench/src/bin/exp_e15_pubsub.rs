@@ -34,10 +34,8 @@ fn main() {
             let mut fetched_ok = 0usize;
             for t in 0..topics {
                 let stream = ps.fetch(t, &blocked).expect("fetch succeeds");
-                let expected: Vec<u64> = (0..batch as u64)
-                    .filter(|i| i % topics == t)
-                    .map(|i| 10_000 + i)
-                    .collect();
+                let expected: Vec<u64> =
+                    (0..batch as u64).filter(|i| i % topics == t).map(|i| 10_000 + i).collect();
                 if stream == expected {
                     fetched_ok += 1;
                 }

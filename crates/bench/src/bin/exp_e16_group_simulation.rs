@@ -48,10 +48,8 @@ fn main() {
         let mut done = 0usize;
         let mut agree = true;
         for group in &groups {
-            let states: Vec<Vec<u64>> = group
-                .iter()
-                .map(|&v| net.node(v).unwrap().state.samples.clone())
-                .collect();
+            let states: Vec<Vec<u64>> =
+                group.iter().map(|&v| net.node(v).unwrap().state.samples.clone()).collect();
             if states.iter().any(|s| s.len() == 1) {
                 done += 1;
             }

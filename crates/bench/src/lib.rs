@@ -4,8 +4,8 @@
 //! regenerate every checkable claim of the paper, and for the Criterion
 //! benches. See DESIGN.md section 3 for the experiment index.
 
-pub mod table;
 pub mod runner;
+pub mod table;
 
+pub use runner::{write_json, ExperimentResult};
 pub use table::Table;
-pub use runner::{ExperimentResult, write_json};

@@ -1,6 +1,7 @@
 //! Machine-readable experiment output.
 
 use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
 use std::path::Path;
 
 /// The JSON record an experiment binary writes next to its printed table.
@@ -16,6 +17,28 @@ pub struct ExperimentResult {
     pub rows: Vec<serde_json::Value>,
 }
 
+impl ExperimentResult {
+    /// The JSON tree this record serializes to.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "id": &self.id,
+            "title": &self.title,
+            "claim": &self.claim,
+            "rows": self.rows.clone(),
+        })
+    }
+
+    /// Rebuild a record from its JSON tree (`None` on shape mismatch).
+    pub fn from_value(v: &Value) -> Option<Self> {
+        Some(Self {
+            id: v.get("id")?.as_str()?.to_string(),
+            title: v.get("title")?.as_str()?.to_string(),
+            claim: v.get("claim")?.as_str()?.to_string(),
+            rows: v.get("rows")?.as_array()?.clone(),
+        })
+    }
+}
+
 /// Write `result` to `results/<id>.json` under the workspace root (or
 /// `OUT_DIR_RESULTS` if set). Creates the directory if needed. Returns
 /// the path written.
@@ -24,7 +47,7 @@ pub fn write_json(result: &ExperimentResult) -> std::io::Result<std::path::PathB
     let dir = Path::new(&dir);
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.json", result.id.to_lowercase()));
-    std::fs::write(&path, serde_json::to_string_pretty(result)?)?;
+    std::fs::write(&path, serde_json::to_string_pretty(&result.to_value())?)?;
     Ok(path)
 }
 
@@ -43,10 +66,11 @@ mod tests {
         let dir = std::env::temp_dir().join("reconfig-bench-test");
         std::env::set_var("OUT_DIR_RESULTS", &dir);
         let path = write_json(&r).unwrap();
-        let back: ExperimentResult =
-            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let parsed = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let back = ExperimentResult::from_value(&parsed).unwrap();
         assert_eq!(back.id, "E0");
         assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0].get("n").unwrap().as_u64(), Some(4));
         std::env::remove_var("OUT_DIR_RESULTS");
     }
 }

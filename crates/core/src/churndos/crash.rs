@@ -172,9 +172,7 @@ mod tests {
     use super::*;
 
     fn group_of_stub(groupmates: usize) -> impl Fn(NodeId) -> Vec<NodeId> {
-        move |v: NodeId| {
-            (1..=groupmates as u64).map(|i| NodeId((v.raw() + i) % 1000)).collect()
-        }
+        move |v: NodeId| (1..=groupmates as u64).map(|i| NodeId((v.raw() + i) % 1000)).collect()
     }
 
     #[test]
@@ -192,8 +190,7 @@ mod tests {
 
     #[test]
     fn indistinguishable_blocking_beyond_patience_evicts_live_nodes() {
-        let mut sc =
-            CrashScenario::new(100, CrashVisibility::Indistinguishable { patience: 2 }, 2);
+        let mut sc = CrashScenario::new(100, CrashVisibility::Indistinguishable { patience: 2 }, 2);
         // Block the same 20 live nodes for 3 epochs: patience exceeded.
         let blocked: HashSet<NodeId> = (0..20).map(NodeId).collect();
         let mut wrong = 0;
@@ -206,8 +203,7 @@ mod tests {
 
     #[test]
     fn short_blocking_within_patience_is_tolerated() {
-        let mut sc =
-            CrashScenario::new(100, CrashVisibility::Indistinguishable { patience: 3 }, 3);
+        let mut sc = CrashScenario::new(100, CrashVisibility::Indistinguishable { patience: 3 }, 3);
         let blocked: HashSet<NodeId> = (0..20).map(NodeId).collect();
         for _ in 0..2 {
             let out = sc.epoch(&blocked, group_of_stub(8));
@@ -221,8 +217,7 @@ mod tests {
 
     #[test]
     fn adversary_with_contact_budget_isolates_returning_nodes() {
-        let mut sc =
-            CrashScenario::new(100, CrashVisibility::Indistinguishable { patience: 1 }, 4);
+        let mut sc = CrashScenario::new(100, CrashVisibility::Indistinguishable { patience: 1 }, 4);
         let blocked: HashSet<NodeId> = (0..5).map(NodeId).collect();
         for _ in 0..2 {
             sc.epoch(&blocked, group_of_stub(8));
@@ -237,8 +232,7 @@ mod tests {
 
     #[test]
     fn crashed_nodes_eventually_evicted_even_when_indistinguishable() {
-        let mut sc =
-            CrashScenario::new(50, CrashVisibility::Indistinguishable { patience: 2 }, 5);
+        let mut sc = CrashScenario::new(50, CrashVisibility::Indistinguishable { patience: 2 }, 5);
         sc.crash_random(7);
         let mut handled = 0;
         for _ in 0..4 {

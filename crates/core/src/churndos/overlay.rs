@@ -105,6 +105,11 @@ impl ChurnDosOverlay {
         self.epochs_done
     }
 
+    /// Current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
     /// Record churn; it takes effect at the next epoch boundary. A join is
     /// broadcast into the introducer's group (the paper's join operation),
     /// a leaver informs its group.
@@ -197,12 +202,8 @@ impl ChurnDosOverlay {
     /// into the Equation 1 band.
     fn reconfigure(&mut self) {
         let leaves: HashSet<NodeId> = self.pending_leaves.drain(..).collect();
-        let mut population: Vec<NodeId> = self
-            .groups
-            .nodes()
-            .into_iter()
-            .filter(|v| !leaves.contains(v))
-            .collect();
+        let mut population: Vec<NodeId> =
+            self.groups.nodes().into_iter().filter(|v| !leaves.contains(v)).collect();
         population.extend(self.pending_joins.drain(..).map(|(new, _)| new));
 
         let cover = self.groups.cover().clone();
@@ -214,11 +215,54 @@ impl ChurnDosOverlay {
             .expect("population within Equation 1's reachable regime");
     }
 
+    /// Stable fingerprint of the full overlay state: round/epoch counters,
+    /// the labeled group structure (labels in sorted order, members sorted
+    /// within each group), pending churn, and the previous block set.
+    /// Golden tests pin the sequence of these across rounds.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = simnet::Digest::new();
+        d.write_u64(self.round)
+            .write_u64(self.epochs_done)
+            .write_u64(self.failed_epochs)
+            .write_bool(self.epoch_ok);
+        let mut entries: Vec<(u8, u64, Vec<NodeId>)> = self
+            .groups
+            .iter()
+            .map(|(l, g)| {
+                let mut members = g.clone();
+                members.sort_unstable();
+                (l.dim(), l.prefix_bits(l.dim()), members)
+            })
+            .collect();
+        entries.sort_unstable_by_key(|e| (e.0, e.1));
+        d.write_usize(entries.len());
+        for (dim, bits, members) in entries {
+            d.write_u8(dim).write_u64(bits).write_usize(members.len());
+            for v in members {
+                d.write_u64(v.raw());
+            }
+        }
+        d.write_usize(self.pending_joins.len());
+        for &(new, delegate) in &self.pending_joins {
+            d.write_u64(new.raw()).write_u64(delegate.raw());
+        }
+        d.write_usize(self.pending_leaves.len());
+        for &l in &self.pending_leaves {
+            d.write_u64(l.raw());
+        }
+        let mut prev: Vec<u64> = self.prev_blocked.iter().map(|v| v.raw()).collect();
+        prev.sort_unstable();
+        d.write_usize(prev.len());
+        for v in prev {
+            d.write_u64(v);
+        }
+        d.finish()
+    }
+
     /// Topology snapshot for the adversary (groups + supernode adjacency).
     pub fn snapshot(&self, round: u64) -> TopologySnapshot {
         let labels: Vec<&Label> = self.groups.iter().map(|(l, _)| l).collect();
-        let groups: Vec<Vec<NodeId>> =
-            self.groups.iter().map(|(_, g)| g.clone()).collect();
+        let groups: Vec<Vec<NodeId>> = self.groups.iter().map(|(_, g)| g.clone()).collect();
         let mut group_edges = Vec::new();
         for (i, a) in labels.iter().enumerate() {
             for (j, b) in labels.iter().enumerate().skip(i + 1) {

@@ -3,7 +3,7 @@
 use overlay_graphs::prefix::{Label, PrefixCover};
 use rand::{Rng, RngExt};
 use simnet::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The group-size band of Equation 1 with the paper's split/merge rules:
 /// `x` splits if `|R(x)| > 2 c d(x)` and merges if `|R(x)| < c d(x) - c`
@@ -53,7 +53,7 @@ pub fn target_dim(n: usize, c: usize) -> u8 {
 #[derive(Clone, Debug)]
 pub struct LabeledGroups {
     cover: PrefixCover,
-    groups: HashMap<Label, Vec<NodeId>>,
+    groups: BTreeMap<Label, Vec<NodeId>>,
 }
 
 impl LabeledGroups {
@@ -61,7 +61,7 @@ impl LabeledGroups {
     /// random.
     pub fn random<R: Rng + ?Sized>(nodes: &[NodeId], dim: u8, rng: &mut R) -> Self {
         let cover = PrefixCover::uniform(dim);
-        let mut groups: HashMap<Label, Vec<NodeId>> =
+        let mut groups: BTreeMap<Label, Vec<NodeId>> =
             cover.iter().map(|&l| (l, Vec::new())).collect();
         for &v in nodes {
             let l = cover.sample(rng);
@@ -72,7 +72,7 @@ impl LabeledGroups {
 
     /// Rebuild from an explicit assignment over an existing cover.
     pub fn from_assignment(cover: PrefixCover, assign: &[(NodeId, Label)]) -> Self {
-        let mut groups: HashMap<Label, Vec<NodeId>> =
+        let mut groups: BTreeMap<Label, Vec<NodeId>> =
             cover.iter().map(|&l| (l, Vec::new())).collect();
         for &(v, l) in assign {
             groups.get_mut(&l).expect("label must be in the cover").push(v);
@@ -100,7 +100,10 @@ impl LabeledGroups {
         self.groups.get(l).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Iterate over `(label, group)`.
+    /// Iterate over `(label, group)` in label order. Groups live in a
+    /// `BTreeMap` so the order — and therefore the RNG consumption order
+    /// of everything that walks the groups — is stable across processes
+    /// (deterministic replay).
     pub fn iter(&self) -> impl Iterator<Item = (&Label, &Vec<NodeId>)> {
         self.groups.iter()
     }
@@ -160,7 +163,11 @@ impl LabeledGroups {
     /// Run split/merge until every group satisfies Equation 1's band, or
     /// report the label that cannot be fixed (a too-small total population
     /// can make the band unsatisfiable at dimension 1).
-    pub fn rebalance<R: Rng + ?Sized>(&mut self, band: SizeBand, rng: &mut R) -> Result<u32, Label> {
+    pub fn rebalance<R: Rng + ?Sized>(
+        &mut self,
+        band: SizeBand,
+        rng: &mut R,
+    ) -> Result<u32, Label> {
         let mut ops = 0u32;
         loop {
             let violator = self

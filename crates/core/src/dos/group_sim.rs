@@ -310,11 +310,7 @@ impl SuperProtocol for TokenWalkSampler {
                 continue;
             }
             let next_level = level + 1;
-            let target = if rng.random::<bool>() {
-                me ^ (1u64 << level)
-            } else {
-                me
-            };
+            let target = if rng.random::<bool>() { me ^ (1u64 << level) } else { me };
             if target == me {
                 // Keep the token: re-inject it locally next step by
                 // sending to ourselves.
@@ -333,7 +329,11 @@ mod tests {
     use overlay_graphs::Hypercube;
     use simnet::BlockSet;
 
-    fn build(dim: u32, members: usize, seed: u64) -> (Network<GroupSimNode<TokenWalkSampler>>, Vec<Vec<NodeId>>) {
+    fn build(
+        dim: u32,
+        members: usize,
+        seed: u64,
+    ) -> (Network<GroupSimNode<TokenWalkSampler>>, Vec<Vec<NodeId>>) {
         let h = Hypercube::new(dim);
         build_group_sim(
             h.len(),
@@ -356,11 +356,7 @@ mod tests {
         net.run(rounds_for(dim));
         for (x, group) in groups.iter().enumerate() {
             let node = net.node(group[0]).expect("present");
-            assert_eq!(
-                node.state.samples.len(),
-                1,
-                "supernode {x} must have exactly one sample"
-            );
+            assert_eq!(node.state.samples.len(), 1, "supernode {x} must have exactly one sample");
             assert!(node.state.samples[0] < 1 << dim);
         }
     }
@@ -411,9 +407,7 @@ mod tests {
         let mut done = 0;
         for group in &groups {
             // Some member (the survivors) must have completed the walk.
-            let finished = group
-                .iter()
-                .any(|&v| !net.node(v).unwrap().state.samples.is_empty());
+            let finished = group.iter().any(|&v| !net.node(v).unwrap().state.samples.is_empty());
             if finished {
                 done += 1;
             }

@@ -149,12 +149,36 @@ impl DosOverlay {
 
     /// The group sizes as a map (diagnostics for Lemma 16 experiments).
     pub fn group_sizes(&self) -> HashMap<u64, usize> {
-        self.grouped
-            .groups()
-            .iter()
-            .enumerate()
-            .map(|(x, g)| (x as u64, g.len()))
-            .collect()
+        self.grouped.groups().iter().enumerate().map(|(x, g)| (x as u64, g.len())).collect()
+    }
+
+    /// Stable fingerprint of the full overlay state: round/epoch counters
+    /// and the group assignment (group index, size, sorted members).
+    /// Golden tests pin the sequence of these across rounds.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = simnet::Digest::new();
+        d.write_u64(self.round)
+            .write_u64(self.epochs_done)
+            .write_u64(self.failed_epochs)
+            .write_bool(self.epoch_ok)
+            .write_u32(self.grouped.cube().dim());
+        let groups = self.grouped.groups();
+        d.write_usize(groups.len());
+        for (x, g) in groups.iter().enumerate() {
+            let mut members = g.clone();
+            members.sort_unstable();
+            d.write_usize(x).write_usize(members.len());
+            for v in members {
+                d.write_u64(v.raw());
+            }
+        }
+        let mut prev: Vec<u64> = self.prev_blocked.iter().map(|v| v.raw()).collect();
+        prev.sort_unstable();
+        d.write_usize(prev.len());
+        for v in prev {
+            d.write_u64(v);
+        }
+        d.finish()
     }
 
     /// Theoretical epoch length for a network of `n` nodes — exposed so

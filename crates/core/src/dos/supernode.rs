@@ -49,7 +49,11 @@ impl GroupedNetwork {
     /// Rebuild from an explicit assignment (used by reconfiguration).
     pub fn from_assignment(cube: Hypercube, assign: HashMap<NodeId, u64>) -> Self {
         let mut groups = vec![Vec::new(); cube.len() as usize];
-        for (&v, &x) in &assign {
+        // Fill groups in node-id order: iterating the map directly would
+        // make member order depend on the process-random hash state.
+        let mut pairs: Vec<(NodeId, u64)> = assign.iter().map(|(&v, &x)| (v, x)).collect();
+        pairs.sort_unstable();
+        for (v, x) in pairs {
             groups[x as usize].push(v);
         }
         Self { cube, groups, assign }
@@ -99,10 +103,7 @@ impl GroupedNetwork {
 
     /// Per-group count of members *not* in `blocked`.
     pub fn unblocked_per_group(&self, blocked: &BlockSet) -> Vec<usize> {
-        self.groups
-            .iter()
-            .map(|g| g.iter().filter(|v| !blocked.contains(**v)).count())
-            .collect()
+        self.groups.iter().map(|g| g.iter().filter(|v| !blocked.contains(**v)).count()).collect()
     }
 
     /// Per-group count of members available this round: non-blocked in
@@ -110,9 +111,7 @@ impl GroupedNetwork {
     pub fn available_per_group(&self, prev: &BlockSet, cur: &BlockSet) -> Vec<usize> {
         self.groups
             .iter()
-            .map(|g| {
-                g.iter().filter(|v| !prev.contains(**v) && !cur.contains(**v)).count()
-            })
+            .map(|g| g.iter().filter(|v| !prev.contains(**v) && !cur.contains(**v)).count())
             .collect()
     }
 
@@ -123,11 +122,8 @@ impl GroupedNetwork {
     /// the question reduces to connectivity of the hypercube restricted to
     /// supernodes with at least one non-blocked member.
     pub fn connected_under(&self, blocked: &BlockSet) -> bool {
-        let alive: Vec<bool> = self
-            .groups
-            .iter()
-            .map(|g| g.iter().any(|v| !blocked.contains(*v)))
-            .collect();
+        let alive: Vec<bool> =
+            self.groups.iter().map(|g| g.iter().any(|v| !blocked.contains(*v))).collect();
         let total_alive = alive.iter().filter(|&&a| a).count();
         if total_alive <= 1 {
             return true; // zero or one occupied supernode is trivially connected

@@ -17,9 +17,9 @@
 //! * [`churndos`] — the split/merge extension handling DoS attacks and
 //!   churn simultaneously (Section 6, Theorem 7).
 
-pub mod config;
-pub mod metrics;
-pub mod sampling;
-pub mod reconfig;
-pub mod dos;
 pub mod churndos;
+pub mod config;
+pub mod dos;
+pub mod metrics;
+pub mod reconfig;
+pub mod sampling;

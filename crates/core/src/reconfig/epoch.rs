@@ -8,7 +8,7 @@
 //! rounds, only work — exactly the paper's "polylogarithmically many
 //! instances ... executed in parallel").
 
-use crate::config::{Schedule, SamplingParams};
+use crate::config::{SamplingParams, Schedule};
 use crate::metrics::ReconfigMetrics;
 use crate::sampling::run_alg1_direct;
 use overlay_graphs::{HGraph, HamiltonCycle};
@@ -284,9 +284,7 @@ pub fn run_epoch(input: EpochInput<'_>) -> EpochOutput {
     let mut salt = 0u64;
     let schedule = Schedule::algorithm1(old_members.len(), graph.degree(), &input.params);
     loop {
-        let enough = needed
-            .iter()
-            .all(|(v, &need)| sample_pool[dense[v]].len() >= need);
+        let enough = needed.iter().all(|(v, &need)| sample_pool[dense[v]].len() >= need);
         if enough {
             break;
         }
@@ -402,11 +400,7 @@ pub fn run_epoch(input: EpochInput<'_>) -> EpochOutput {
         }
         assert_eq!(order.len(), survivors.len(), "new cycle misses nodes");
         new_cycles.push(HamiltonCycle::from_order(order));
-        let cong = net
-            .nodes()
-            .map(|(_, p)| p.cycles[c].block.len())
-            .max()
-            .unwrap_or(0);
+        let cong = net.nodes().map(|(_, p)| p.cycles[c].block.len()).max().unwrap_or(0);
         max_congestion = max_congestion.max(cong);
     }
 
@@ -414,10 +408,8 @@ pub fn run_epoch(input: EpochInput<'_>) -> EpochOutput {
     let mut max_empty_segment = 0usize;
     for (c, cy) in graph.cycles().iter().enumerate() {
         let order = cy.order();
-        let active: Vec<bool> = order
-            .iter()
-            .map(|v| net.node(*v).expect("old member").cycles[c].active)
-            .collect();
+        let active: Vec<bool> =
+            order.iter().map(|v| net.node(*v).expect("old member").cycles[c].active).collect();
         max_empty_segment = max_empty_segment.max(longest_false_run_cyclic(&active));
     }
 
@@ -430,13 +422,7 @@ pub fn run_epoch(input: EpochInput<'_>) -> EpochOutput {
         left: leaving.len(),
         valid: true,
     };
-    EpochOutput {
-        cycles: new_cycles,
-        members: survivors,
-        metrics,
-        sampling_rounds,
-        bridge_rounds,
-    }
+    EpochOutput { cycles: new_cycles, members: survivors, metrics, sampling_rounds, bridge_rounds }
 }
 
 /// Longest run of `false` in a cyclic boolean sequence.
@@ -501,7 +487,11 @@ mod tests {
         let out = run_epoch(EpochInput {
             graph: &g,
             leaving: vec![NodeId(0), NodeId(5), NodeId(11)],
-            joins: vec![(NodeId(100), NodeId(1)), (NodeId(101), NodeId(2)), (NodeId(102), NodeId(1))],
+            joins: vec![
+                (NodeId(100), NodeId(1)),
+                (NodeId(101), NodeId(2)),
+                (NodeId(102), NodeId(1)),
+            ],
             bridge: BridgeMode::PointerDoubling,
             params: SamplingParams::default(),
             seed: 5,

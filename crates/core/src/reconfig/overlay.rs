@@ -111,6 +111,36 @@ impl ExpanderOverlay {
     pub fn is_connected(&self) -> bool {
         connectivity::is_connected(&self.graph.adjacency())
     }
+
+    /// Stable fingerprint of the full overlay state: epoch counters, sorted
+    /// membership with each member's sorted adjacency, and pending churn.
+    /// Golden tests pin the sequence of these across epochs; replaying with
+    /// the same seed and churn schedule reproduces it exactly.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = simnet::Digest::new();
+        d.write_u64(self.epoch).write_u64(self.total_rounds);
+        let mut members: Vec<NodeId> = self.graph.nodes().to_vec();
+        members.sort_unstable();
+        d.write_usize(members.len());
+        for &v in &members {
+            d.write_u64(v.raw());
+            let mut nbrs = self.graph.neighbors(v);
+            nbrs.sort_unstable();
+            d.write_usize(nbrs.len());
+            for w in nbrs {
+                d.write_u64(w.raw());
+            }
+        }
+        d.write_usize(self.pending_joins.len());
+        for &(new, delegate) in &self.pending_joins {
+            d.write_u64(new.raw()).write_u64(delegate.raw());
+        }
+        d.write_usize(self.pending_leaves.len());
+        for &l in &self.pending_leaves {
+            d.write_u64(l.raw());
+        }
+        d.finish()
+    }
 }
 
 #[cfg(test)]

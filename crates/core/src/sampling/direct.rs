@@ -9,7 +9,7 @@
 //! test checks both versions produce statistically indistinguishable
 //! sample distributions.
 
-use crate::config::{Schedule, SamplingParams};
+use crate::config::{SamplingParams, Schedule};
 use crate::metrics::SamplingMetrics;
 use overlay_graphs::HGraph;
 use rand::RngExt;

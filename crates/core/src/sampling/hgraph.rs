@@ -22,7 +22,7 @@
 //! node's own id so the protocol can proceed; experiments report the count
 //! (E5 probes the parameter boundary where failures appear).
 
-use crate::config::{Schedule, SamplingParams};
+use crate::config::{SamplingParams, Schedule};
 use crate::metrics::SamplingMetrics;
 use overlay_graphs::HGraph;
 use rand::RngExt;
@@ -43,6 +43,17 @@ impl Payload for SampleMsg {
         match self {
             SampleMsg::Request => 8,
             SampleMsg::Response(_) => 8 + NodeId::SIZE_BITS,
+        }
+    }
+
+    fn digest(&self, digest: &mut simnet::Digest) {
+        match self {
+            SampleMsg::Request => {
+                digest.write_u8(0);
+            }
+            SampleMsg::Response(v) => {
+                digest.write_u8(1).write_u64(v.raw());
+            }
         }
     }
 }
@@ -92,6 +103,25 @@ impl Alg1Node {
 
 impl Protocol for Alg1Node {
     type Msg = SampleMsg;
+
+    fn digest(&self, digest: &mut simnet::Digest) {
+        digest.write_usize(self.iter).write_u64(self.failures);
+        digest.write_usize(self.m.len());
+        for v in &self.m {
+            digest.write_u64(v.raw());
+        }
+        match &self.samples {
+            None => {
+                digest.write_u8(0);
+            }
+            Some(s) => {
+                digest.write_u8(1).write_usize(s.len());
+                for v in s {
+                    digest.write_u64(v.raw());
+                }
+            }
+        }
+    }
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, SampleMsg>) {
         let round = ctx.round();
@@ -149,9 +179,41 @@ pub fn run_alg1(
     params: &SamplingParams,
     seed: u64,
 ) -> (Vec<(NodeId, Vec<NodeId>)>, SamplingMetrics) {
+    let (out, metrics, _) = run_alg1_inner(graph, params, seed, false);
+    (out, metrics)
+}
+
+/// Per-node samples, run metrics, and the engine's per-round digest stream.
+pub type DigestedRun = (Vec<(NodeId, Vec<NodeId>)>, SamplingMetrics, Vec<simnet::RoundDigest>);
+
+/// [`run_alg1`] with per-round state digests: returns the digest stream
+/// recorded by the simnet engine (one [`simnet::RoundDigest`] per round)
+/// alongside the usual outputs. Replaying with identical graph, params and
+/// seed yields an identical stream; golden tests pin it.
+pub fn run_alg1_digested(graph: &HGraph, params: &SamplingParams, seed: u64) -> DigestedRun {
+    run_alg1_inner(graph, params, seed, true)
+}
+
+fn run_alg1_inner(
+    graph: &HGraph,
+    params: &SamplingParams,
+    seed: u64,
+    digests: bool,
+) -> DigestedRun {
     let n = graph.len();
     let schedule = Arc::new(Schedule::algorithm1(n, graph.degree(), params));
     let mut net: Network<Alg1Node> = Network::new(seed);
+    if digests {
+        net.enable_digests();
+        net.set_manifest(format!(
+            "alg1 n={n} d={} alpha={} beta={} epsilon={} c={}",
+            graph.degree(),
+            params.alpha,
+            params.beta,
+            params.epsilon,
+            params.c
+        ));
+    }
     for &v in graph.nodes() {
         net.add_node(v, Alg1Node::new(Arc::clone(&schedule), graph.neighbors(v)));
     }
@@ -178,7 +240,7 @@ pub fn run_alg1(
         max_node_msgs: net.stats().max_node_msgs(),
         total_msgs: net.stats().total_msgs(),
     };
-    (out, metrics)
+    (out, metrics, net.trace().digests().to_vec())
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //! the disjoint class `j ≡ 1 + 2^(i-1) (mod 2^i)`, which is why the slimmer
 //! base `1 + eps` suffices here (compare Lemma 7's `2 + eps`).
 
-use crate::config::{Schedule, SamplingParams};
+use crate::config::{SamplingParams, Schedule};
 use crate::metrics::SamplingMetrics;
 use overlay_graphs::Hypercube;
 use rand::RngExt;

@@ -33,9 +33,10 @@ impl Bits {
         self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
     fn ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.0.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter(move |b| w >> b & 1 == 1).map(move |b| wi * 64 + b)
-        })
+        self.0
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| (0..64).filter(move |b| w >> b & 1 == 1).map(move |b| wi * 64 + b))
     }
 }
 

@@ -24,6 +24,6 @@ pub mod lower_bound;
 
 pub use baseline::{run_baseline, BaselineNode, WalkMsg};
 pub use direct::{run_alg1_direct, DirectRun};
-pub use hgraph::{run_alg1, Alg1Node, SampleMsg};
+pub use hgraph::{run_alg1, run_alg1_digested, Alg1Node, SampleMsg};
 pub use hypercube::{run_alg2, Alg2Node, CubeMsg};
 pub use lower_bound::knowledge_spread_rounds;

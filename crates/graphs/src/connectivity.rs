@@ -179,11 +179,7 @@ mod tests {
     fn multi_edges_are_harmless() {
         let adj = Adjacency::from_edges(
             &ids(&[0, 1, 2]),
-            &[
-                (NodeId(0), NodeId(1)),
-                (NodeId(0), NodeId(1)),
-                (NodeId(1), NodeId(2)),
-            ],
+            &[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))],
         );
         assert!(is_connected(&adj));
         assert_eq!(adj.degree(0), 2);

@@ -15,7 +15,7 @@
 
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A supernode label: the first `len` bits (MSB-first within `bits`) of a
 /// binary string. `len == 0` is the root label (the whole space).
@@ -117,7 +117,7 @@ impl std::fmt::Debug for Label {
 /// of the Section 6 network, with split and merge operations.
 #[derive(Clone, Debug, Default)]
 pub struct PrefixCover {
-    labels: HashSet<Label>,
+    labels: BTreeSet<Label>,
 }
 
 impl PrefixCover {
@@ -143,7 +143,10 @@ impl PrefixCover {
         self.labels.contains(l)
     }
 
-    /// Iterate over the labels (arbitrary order).
+    /// Iterate over the labels in sorted order. The cover is a `BTreeSet`
+    /// so iteration order is stable across processes — randomized
+    /// `HashSet` order here would leak into RNG consumption order during
+    /// split/merge and break deterministic replay.
     pub fn iter(&self) -> impl Iterator<Item = &Label> {
         self.labels.iter()
     }
@@ -185,11 +188,8 @@ impl PrefixCover {
     /// `point`. Panics if the cover is not exact (no match).
     pub fn locate(&self, point: u64) -> Label {
         for len in 0..=Label::MAX_LEN {
-            let cand = if len == 0 {
-                Label::ROOT
-            } else {
-                Label::new(point >> (64 - len as u32), len)
-            };
+            let cand =
+                if len == 0 { Label::ROOT } else { Label::new(point >> (64 - len as u32), len) };
             if self.labels.contains(&cand) {
                 return cand;
             }

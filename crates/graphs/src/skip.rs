@@ -91,11 +91,8 @@ impl SkipGraph {
 
     /// All distinct neighbors of `v` across levels.
     pub fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self.links[&v]
-            .iter()
-            .flat_map(|&(p, s)| [p, s])
-            .flatten()
-            .collect();
+        let mut out: Vec<NodeId> =
+            self.links[&v].iter().flat_map(|&(p, s)| [p, s]).flatten().collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -134,14 +131,12 @@ impl SkipGraph {
             // overshoot the goal.
             let mut next = None;
             for lvl in (0..self.levels).rev() {
-                let cand = if going_right { self.links[&cur][lvl].1 } else { self.links[&cur][lvl].0 };
+                let cand =
+                    if going_right { self.links[&cur][lvl].1 } else { self.links[&cur][lvl].0 };
                 if let Some(w) = cand {
                     let wl = self.label[&w];
-                    let ok = if going_right {
-                        wl <= self.label[&goal]
-                    } else {
-                        wl >= self.label[&goal]
-                    };
+                    let ok =
+                        if going_right { wl <= self.label[&goal] } else { wl >= self.label[&goal] };
                     if ok {
                         next = Some(w);
                         break;
@@ -151,7 +146,11 @@ impl SkipGraph {
             let next = next.unwrap_or_else(|| {
                 // Fall back to the level-0 list (always makes progress).
                 let (p, s) = self.links[&cur][0];
-                if going_right { s.expect("goal is to the right") } else { p.expect("goal is to the left") }
+                if going_right {
+                    s.expect("goal is to the right")
+                } else {
+                    p.expect("goal is to the left")
+                }
             });
             cur = next;
             path.push(cur);
@@ -206,10 +205,7 @@ mod tests {
         let g = build(32, 3);
         for probe in [0u64, u64::MAX / 3, u64::MAX] {
             let c = g.closest(probe);
-            let best = (0..32)
-                .map(NodeId)
-                .min_by_key(|v| g.label_of(*v).abs_diff(probe))
-                .unwrap();
+            let best = (0..32).map(NodeId).min_by_key(|v| g.label_of(*v).abs_diff(probe)).unwrap();
             assert_eq!(g.label_of(c).abs_diff(probe), g.label_of(best).abs_diff(probe));
         }
     }

@@ -12,11 +12,7 @@ impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "UnionFind supports at most 2^32 elements");
-        Self {
-            parent: (0..n as u32).collect(),
-            rank: vec![0; n],
-            components: n,
-        }
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
     }
 
     /// Number of elements.

@@ -91,12 +91,7 @@ impl CommStats {
     /// Statistics for the suffix of rounds starting at `from_round`.
     pub fn since(&self, from_round: u64) -> CommStats {
         CommStats {
-            per_round: self
-                .per_round
-                .iter()
-                .filter(|r| r.round >= from_round)
-                .copied()
-                .collect(),
+            per_round: self.per_round.iter().filter(|r| r.round >= from_round).copied().collect(),
         }
     }
 }
@@ -156,8 +151,20 @@ mod tests {
     #[test]
     fn stats_track_maximum_across_rounds() {
         let mut s = CommStats::new();
-        s.push(RoundWork { round: 0, max_node_bits: 10, total_bits: 30, max_node_msgs: 1, total_msgs: 3 });
-        s.push(RoundWork { round: 1, max_node_bits: 50, total_bits: 60, max_node_msgs: 4, total_msgs: 5 });
+        s.push(RoundWork {
+            round: 0,
+            max_node_bits: 10,
+            total_bits: 30,
+            max_node_msgs: 1,
+            total_msgs: 3,
+        });
+        s.push(RoundWork {
+            round: 1,
+            max_node_bits: 50,
+            total_bits: 60,
+            max_node_msgs: 4,
+            total_msgs: 5,
+        });
         assert_eq!(s.max_node_bits(), 50);
         assert_eq!(s.max_node_msgs(), 4);
         assert_eq!(s.total_bits(), 90);

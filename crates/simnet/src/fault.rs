@@ -130,6 +130,65 @@ mod tests {
     }
 
     #[test]
+    fn delivery_rule_full_truth_table() {
+        // Section 1.1: a message v -> w sent in round i is delivered iff
+        // v is non-blocked at i, and w is non-blocked at i AND i+1. The
+        // sender's status at i+1 is irrelevant. Enumerate all 8
+        // combinations of the three relevant bits.
+        let (v, w) = (NodeId(1), NodeId(2));
+        for v_send in [false, true] {
+            for w_send in [false, true] {
+                for w_recv in [false, true] {
+                    let mut send = BlockSet::none();
+                    let mut recv = BlockSet::none();
+                    if v_send {
+                        send.insert(v);
+                    }
+                    if w_send {
+                        send.insert(w);
+                    }
+                    if w_recv {
+                        recv.insert(w);
+                    }
+                    let expect = !v_send && !w_send && !w_recv;
+                    assert_eq!(
+                        delivered(v, w, &send, &recv),
+                        expect,
+                        "v@send={v_send} w@send={w_send} w@recv={w_recv}"
+                    );
+                    // Blocking the sender at the receive round must never
+                    // change the outcome.
+                    recv.insert(v);
+                    assert_eq!(
+                        delivered(v, w, &send, &recv),
+                        expect,
+                        "sender status at i+1 must be irrelevant"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_send_follows_the_same_rule() {
+        // v -> v: blocked in either round kills it (v is both endpoints).
+        let v = NodeId(5);
+        assert!(delivered(v, v, &bs(&[]), &bs(&[])));
+        assert!(!delivered(v, v, &bs(&[5]), &bs(&[])));
+        assert!(!delivered(v, v, &bs(&[]), &bs(&[5])));
+    }
+
+    #[test]
+    fn delivery_is_per_edge_not_global() {
+        // A block set only affects edges touching its members.
+        let send = bs(&[7]);
+        let recv = bs(&[8]);
+        assert!(delivered(NodeId(1), NodeId(2), &send, &recv));
+        assert!(!delivered(NodeId(7), NodeId(2), &send, &recv));
+        assert!(!delivered(NodeId(1), NodeId(8), &send, &recv));
+    }
+
+    #[test]
     fn bound_check() {
         let set = bs(&[1, 2, 3]);
         assert!(set.within_bound(0.5, 6));

@@ -59,6 +59,7 @@
 //! ```
 
 pub mod accounting;
+pub mod digest;
 pub mod engine;
 pub mod fault;
 pub mod id;
@@ -68,7 +69,8 @@ pub mod rng;
 pub mod trace;
 
 pub use accounting::{CommStats, RoundWork};
-pub use engine::Network;
+pub use digest::{Digest, RoundDigest, RunManifest};
+pub use engine::{Network, ParMode, PAR_THRESHOLD};
 pub use fault::BlockSet;
 pub use id::NodeId;
 pub use message::{Envelope, Payload};

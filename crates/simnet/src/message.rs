@@ -1,5 +1,6 @@
 //! Messages and envelopes.
 
+use crate::digest::Digest;
 use crate::NodeId;
 
 /// A message payload.
@@ -11,6 +12,16 @@ use crate::NodeId;
 pub trait Payload: Clone + Send + Sync + 'static {
     /// Size of this message in bits, as charged to both endpoints.
     fn size_bits(&self) -> u64;
+
+    /// Feed this payload into a replay-verification digest.
+    ///
+    /// The default hashes only [`size_bits`](Self::size_bits), which
+    /// distinguishes variable-size payloads but collapses equal-size ones;
+    /// override to hash content so replay divergence in message *values*
+    /// is detected, not just in message *shapes*.
+    fn digest(&self, digest: &mut Digest) {
+        digest.write_u64(self.size_bits());
+    }
 }
 
 /// Unit payload for protocols that only need "a message arrived".
@@ -18,17 +29,29 @@ impl Payload for () {
     fn size_bits(&self) -> u64 {
         1
     }
+
+    fn digest(&self, digest: &mut Digest) {
+        digest.write_u8(0);
+    }
 }
 
 impl Payload for NodeId {
     fn size_bits(&self) -> u64 {
         NodeId::SIZE_BITS
     }
+
+    fn digest(&self, digest: &mut Digest) {
+        digest.write_u64(self.raw());
+    }
 }
 
 impl Payload for u64 {
     fn size_bits(&self) -> u64 {
         64
+    }
+
+    fn digest(&self, digest: &mut Digest) {
+        digest.write_u64(*self);
     }
 }
 
@@ -37,11 +60,23 @@ impl<T: Payload> Payload for Vec<T> {
         // Length prefix plus elements.
         32 + self.iter().map(Payload::size_bits).sum::<u64>()
     }
+
+    fn digest(&self, digest: &mut Digest) {
+        digest.write_usize(self.len());
+        for item in self {
+            item.digest(digest);
+        }
+    }
 }
 
 impl<A: Payload, B: Payload> Payload for (A, B) {
     fn size_bits(&self) -> u64 {
         self.0.size_bits() + self.1.size_bits()
+    }
+
+    fn digest(&self, digest: &mut Digest) {
+        self.0.digest(digest);
+        self.1.digest(digest);
     }
 }
 

@@ -1,5 +1,6 @@
 //! The node-side protocol interface.
 
+use crate::digest::Digest;
 use crate::message::{Envelope, Payload};
 use crate::rng::NodeRng;
 use crate::NodeId;
@@ -18,6 +19,19 @@ pub trait Protocol: Send {
 
     /// Execute one round.
     fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Feed this node's protocol state into a replay-verification digest
+    /// (see [`crate::Network::round_digest`]).
+    ///
+    /// The default contributes nothing, which is always *sound* — the
+    /// engine separately digests membership, RNG positions and in-flight
+    /// messages — but protocols should override this to hash every field
+    /// that defines their state, so that state divergence between two runs
+    /// is caught at the round it happens rather than when it first affects
+    /// a message.
+    fn digest(&self, digest: &mut Digest) {
+        let _ = digest;
+    }
 }
 
 /// Per-round execution context handed to [`Protocol::on_round`].
@@ -98,7 +112,8 @@ mod tests {
 
     #[test]
     fn take_inbox_drains() {
-        let mut inbox = vec![Envelope { from: NodeId(2), to: NodeId(1), sent_round: 4, msg: NodeId(3) }];
+        let mut inbox =
+            vec![Envelope { from: NodeId(2), to: NodeId(1), sent_round: 4, msg: NodeId(3) }];
         let mut outbox = Vec::new();
         let mut rng = stream(0, 1, 0);
         let mut ctx = Ctx::<NodeId> {

@@ -74,9 +74,7 @@ mod tests {
         // Nearby master seeds should not produce obviously correlated output.
         let mut a = stream(100, 0, 0);
         let mut b = stream(101, 0, 0);
-        let same = (0..64)
-            .filter(|_| a.random::<bool>() == b.random::<bool>())
-            .count();
+        let same = (0..64).filter(|_| a.random::<bool>() == b.random::<bool>()).count();
         assert!((8..=56).contains(&same), "suspicious correlation: {same}/64");
     }
 }

@@ -1,5 +1,7 @@
-//! Optional event tracing for debugging protocols.
+//! Optional event tracing for debugging protocols, plus the replay
+//! verification record: per-round state digests and the run manifest.
 
+use crate::digest::{RoundDigest, RunManifest};
 use crate::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -19,12 +21,15 @@ pub enum TraceEvent {
 }
 
 /// Bounded event log. Disabled by default; when enabled it records up to
-/// `cap` events and counts overflow.
+/// `cap` events and counts overflow. Also holds the replay-verification
+/// record of a run: the per-round digest stream and the [`RunManifest`].
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Trace {
     enabled: bool,
     cap: usize,
     events: Vec<TraceEvent>,
+    digests: Vec<RoundDigest>,
+    manifest: Option<RunManifest>,
     /// Events not recorded because the buffer was full.
     pub overflow: u64,
     /// Total dropped-by-blocking messages (counted even when disabled).
@@ -46,6 +51,13 @@ impl Trace {
         Self { enabled: true, cap, ..Self::default() }
     }
 
+    /// Switch event recording on (up to `cap` events) without disturbing
+    /// counters, digests or the manifest accumulated so far.
+    pub(crate) fn enable(&mut self, cap: usize) {
+        self.enabled = true;
+        self.cap = cap;
+    }
+
     pub(crate) fn record(&mut self, ev: TraceEvent) {
         match &ev {
             TraceEvent::Delivered { .. } => self.delivered += 1,
@@ -62,14 +74,35 @@ impl Trace {
         }
     }
 
+    pub(crate) fn record_digest(&mut self, d: RoundDigest) {
+        self.digests.push(d);
+    }
+
+    pub(crate) fn set_manifest(&mut self, manifest: RunManifest) {
+        self.manifest = Some(manifest);
+    }
+
     /// Recorded events (empty when disabled).
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
 
-    /// Clear recorded events and counters.
+    /// Per-round state digests (empty unless digest recording was enabled
+    /// on the network; see [`crate::Network::enable_digests`]).
+    pub fn digests(&self) -> &[RoundDigest] {
+        &self.digests
+    }
+
+    /// The run manifest, if one was attached.
+    pub fn manifest(&self) -> Option<&RunManifest> {
+        self.manifest.as_ref()
+    }
+
+    /// Clear recorded events, digests, manifest and counters.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.digests.clear();
+        self.manifest = None;
         self.overflow = 0;
         self.dropped_blocked = 0;
         self.dropped_missing = 0;

@@ -60,8 +60,7 @@ mod tests {
     #[test]
     fn loglog_series_prefers_loglog_fit() {
         let ns = ns();
-        let ys: Vec<f64> =
-            ns.iter().map(|&n| 3.0 + 2.0 * (n as f64).log2().log2()).collect();
+        let ys: Vec<f64> = ns.iter().map(|&n| 3.0 + 2.0 * (n as f64).log2().log2()).collect();
         let ll = fit_loglog(&ns, &ys);
         let l = fit_log(&ns, &ys);
         assert!(ll.r2 > 0.999);

@@ -21,10 +21,7 @@ pub fn tv_distance_uniform(counts: &[u64], support: usize) -> f64 {
         return 0.0;
     }
     let u = 1.0 / support as f64;
-    let observed: f64 = counts
-        .iter()
-        .map(|&c| (c as f64 / total as f64 - u).abs())
-        .sum();
+    let observed: f64 = counts.iter().map(|&c| (c as f64 / total as f64 - u).abs()).sum();
     let missing = (support - counts.len()) as f64 * u;
     0.5 * (observed + missing)
 }

@@ -24,7 +24,10 @@ fn main() {
     let n = 4096;
     println!("group-targeted DoS attack on {n} nodes, blocking 30% per round");
     println!();
-    println!("{:>18} {:>8} {:>11} {:>9} {:>9}", "adversary", "rounds", "connected", "starved", "verdict");
+    println!(
+        "{:>18} {:>8} {:>11} {:>9} {:>9}",
+        "adversary", "rounds", "connected", "starved", "verdict"
+    );
     for (name, factor, seed) in [("2t-late (paper)", 2u64, 10u64), ("0-late (control)", 0, 20)] {
         let (rounds, connected, starved) = run(n, factor, seed);
         let verdict = if connected == rounds { "defended" } else { "BREACHED" };

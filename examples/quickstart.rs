@@ -33,7 +33,12 @@ fn main() {
         let (_, walk) = run_baseline(&graph, &params, 7);
         println!(
             "{:>6} {:>14} {:>14} {:>12} {:>12} {:>9}",
-            n, rapid.rounds, walk.rounds, rapid.samples_per_node, rapid.max_node_bits, rapid.failures
+            n,
+            rapid.rounds,
+            walk.rounds,
+            rapid.samples_per_node,
+            rapid.max_node_bits,
+            rapid.failures
         );
     }
     println!();

@@ -1,0 +1,35 @@
+# Development tasks. `just` not installed? Every recipe is one command —
+# copy it out, or run the same sequence via `scripts/ci.sh`.
+
+# Run the full CI gate locally.
+ci:
+    ./scripts/ci.sh
+
+# Format everything.
+fmt:
+    cargo fmt --all
+
+# Lint hard.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Build release artifacts.
+build:
+    cargo build --workspace --release
+
+# Full test suite (includes determinism + fuzz targets).
+test:
+    cargo test --workspace -q
+
+# Determinism harness only: goldens + serial/parallel differential.
+determinism:
+    cargo test -q -p integration-tests --test determinism
+
+# Refresh golden digest files after an intentional behavior change.
+golden:
+    UPDATE_GOLDEN=1 cargo test -q -p integration-tests --test determinism
+    git diff --stat tests/golden/
+
+# Fault-schedule fuzzing; override cases with `just fuzz 500`.
+fuzz cases="100":
+    FUZZ_CASES={{cases}} cargo test -q -p integration-tests --test fault_fuzz

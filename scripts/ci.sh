@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml. Fails fast on the first error.
+# fmt/clippy are skipped with a notice when the components are not installed
+# (the hermetic build container ships only the core toolchain).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --all --check"
+    cargo fmt --all --check
+else
+    echo "==> rustfmt not installed; skipping format check"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint"
+fi
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> determinism harness"
+cargo test -q -p integration-tests --test determinism
+
+echo "==> fault-schedule fuzzing (FUZZ_CASES=${FUZZ_CASES:-100})"
+FUZZ_CASES="${FUZZ_CASES:-100}" cargo test -q -p integration-tests --test fault_fuzz
+
+echo "CI gate passed."

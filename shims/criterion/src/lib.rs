@@ -1,0 +1,210 @@
+//! Hermetic shim for the subset of `criterion` the bench targets use.
+//!
+//! Each benchmark runs `sample_size` timed samples of the closure and
+//! prints min / mean / max wall-clock time per iteration — enough to spot
+//! order-of-magnitude regressions by eye. There is no statistical
+//! analysis, warm-up phase, or HTML report. Set `BENCH_SAMPLE_OVERRIDE`
+//! to force a sample count (e.g. `1` for a smoke run in CI).
+
+use std::fmt;
+use std::time::Instant;
+
+/// Hint the optimizer to keep a value (best-effort without unstable
+/// intrinsics: an opaque read through a volatile pointer).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Id rendered from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the workload.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<std::time::Duration>,
+}
+
+impl Bencher {
+    /// Run and time `f` once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn effective_samples(configured: usize) -> usize {
+    std::env::var("BENCH_SAMPLE_OVERRIDE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(configured)
+}
+
+fn report(group: &str, name: &str, results: &[std::time::Duration]) {
+    if results.is_empty() {
+        println!("{group}/{name}: no samples");
+        return;
+    }
+    let min = results.iter().min().expect("non-empty");
+    let max = results.iter().max().expect("non-empty");
+    let mean = results.iter().sum::<std::time::Duration>() / results.len() as u32;
+    println!(
+        "{group}/{name}: min {min:?}  mean {mean:?}  max {max:?}  ({} samples)",
+        results.len()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: effective_samples(self.sample_size), results: Vec::new() };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b.results);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: effective_samples(self.sample_size), results: Vec::new() };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &b.results);
+        self
+    }
+
+    /// End the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 { 10 } else { self.default_sample_size };
+        BenchmarkGroup { name: name.into(), sample_size, _criterion: self }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group(id.to_string());
+        g.bench_function("", f);
+        g.finish();
+        self
+    }
+}
+
+/// Declare a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert_eq!(runs, effective_samples(3) as u32);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_input");
+        group.sample_size(2);
+        let data = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}

@@ -1,0 +1,612 @@
+//! Hermetic shim for the subset of `rayon` this workspace uses.
+//!
+//! Implements indexed parallel iteration over slices and ranges with
+//! `std::thread::scope` fan-out: the input is split into contiguous chunks,
+//! one per worker thread, and results are reassembled **in index order**,
+//! so every adaptor here is deterministic regardless of thread count or
+//! scheduling — the property the simnet engine's differential determinism
+//! tests (serial vs. parallel stepping) assert.
+//!
+//! Thread count resolution order: [`ThreadPool::install`] override →
+//! `RAYON_NUM_THREADS` env var → `std::thread::available_parallelism`.
+//! Unlike real rayon there is no persistent work-stealing pool; threads are
+//! scoped per call, which is adequate for the workspace's round-granular
+//! parallelism and keeps the shim dependency-free.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+pub mod prelude {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator,
+    };
+}
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// The number of worker threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    NUM_THREADS_OVERRIDE.with(|c| c.get()).unwrap_or_else(default_num_threads)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` (only `num_threads`).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never actually produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => default_num_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" that scopes parallel calls to a fixed thread count.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `f` with this pool's thread count governing all parallel
+    /// iterator calls made on the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = NUM_THREADS_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        let out = f();
+        NUM_THREADS_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Split `len` items into at most `pieces` contiguous `(start, end)` chunks.
+fn chunk_bounds(len: usize, pieces: usize) -> Vec<(usize, usize)> {
+    let pieces = pieces.clamp(1, len.max(1));
+    let base = len / pieces;
+    let extra = len % pieces;
+    let mut bounds = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for i in 0..pieces {
+        let sz = base + usize::from(i < extra);
+        if sz == 0 {
+            break;
+        }
+        bounds.push((start, start + sz));
+        start += sz;
+    }
+    bounds
+}
+
+/// An exact-size, index-addressed parallel iterator.
+///
+/// `drive` is the single primitive: it invokes `each(index, item)` exactly
+/// once per index, possibly concurrently from several threads; all adaptors
+/// and consumers are built on it and reassemble results in index order.
+pub trait IndexedParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Call `each(index, item)` for every index exactly once.
+    fn drive<E: Fn(usize, Self::Item) + Sync>(self, each: &E);
+
+    /// Parallel `for_each` (order of side effects unspecified, coverage
+    /// exact).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.drive(&|_, item| f(item));
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Map items through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Flatten nested iterables; supports only [`Flatten::for_each`].
+    fn flatten(self) -> Flatten<Self> {
+        Flatten { inner: self }
+    }
+
+    /// Zip with a parallel slice iterator of the same length.
+    fn zip<O>(self, other: O) -> Zip<Self, O>
+    where
+        O: IndexedParallelIterator,
+    {
+        assert_eq!(self.par_len(), other.par_len(), "zip of unequal lengths");
+        Zip { a: self, b: other }
+    }
+
+    /// Collect into a container, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParIter<Self::Item>,
+        Self::Item: Sync,
+    {
+        C::from_par(self)
+    }
+
+    /// Collect a pair-yielding iterator into two vectors.
+    fn unzip<A, B>(self) -> (Vec<A>, Vec<B>)
+    where
+        Self: IndexedParallelIterator<Item = (A, B)>,
+        A: Send + Sync,
+        B: Send + Sync,
+    {
+        let pairs: Vec<(A, B)> = self.collect();
+        pairs.into_iter().unzip()
+    }
+
+    /// Maximum item.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord + Sync,
+    {
+        let items: Vec<Self::Item> = self.collect();
+        items.into_iter().max()
+    }
+
+    /// Sum of items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+        Self::Item: Sync,
+    {
+        let items: Vec<Self::Item> = self.collect();
+        items.into_iter().sum()
+    }
+}
+
+/// Ordered collection from a parallel iterator.
+pub trait FromParIter<T> {
+    /// Build the container.
+    fn from_par<I: IndexedParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send + Sync> FromParIter<T> for Vec<T> {
+    fn from_par<I: IndexedParallelIterator<Item = T>>(iter: I) -> Self {
+        let len = iter.par_len();
+        let slots: Vec<OnceLock<T>> = std::iter::repeat_with(OnceLock::new).take(len).collect();
+        iter.drive(&|i, item| {
+            slots[i].set(item).ok().expect("index driven twice");
+        });
+        slots.into_iter().map(|s| s.into_inner().expect("index not driven")).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// `&[T]` source.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn drive<E: Fn(usize, Self::Item) + Sync>(self, each: &E) {
+        let threads = current_num_threads();
+        if threads <= 1 || self.slice.len() < 2 {
+            for (i, item) in self.slice.iter().enumerate() {
+                each(i, item);
+            }
+            return;
+        }
+        let bounds = chunk_bounds(self.slice.len(), threads);
+        std::thread::scope(|s| {
+            for &(start, end) in &bounds {
+                let chunk = &self.slice[start..end];
+                s.spawn(move || {
+                    for (off, item) in chunk.iter().enumerate() {
+                        each(start + off, item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `&mut [T]` source.
+pub struct ParSliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParSliceMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn drive<E: Fn(usize, Self::Item) + Sync>(self, each: &E) {
+        let threads = current_num_threads();
+        if threads <= 1 || self.slice.len() < 2 {
+            for (i, item) in self.slice.iter_mut().enumerate() {
+                each(i, item);
+            }
+            return;
+        }
+        let len = self.slice.len();
+        let bounds = chunk_bounds(len, threads);
+        std::thread::scope(|s| {
+            let mut rest = self.slice;
+            let mut consumed = 0;
+            for &(start, end) in &bounds {
+                let (chunk, tail) = rest.split_at_mut(end - consumed);
+                rest = tail;
+                consumed = end;
+                s.spawn(move || {
+                    for (off, item) in chunk.iter_mut().enumerate() {
+                        each(start + off, item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `Range<usize>` source.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl IndexedParallelIterator for ParRange {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn drive<E: Fn(usize, Self::Item) + Sync>(self, each: &E) {
+        let threads = current_num_threads();
+        let len = self.end - self.start;
+        if threads <= 1 || len < 2 {
+            for i in 0..len {
+                each(i, self.start + i);
+            }
+            return;
+        }
+        let bounds = chunk_bounds(len, threads);
+        let base = self.start;
+        std::thread::scope(|s| {
+            for &(start, end) in &bounds {
+                s.spawn(move || {
+                    for i in start..end {
+                        each(i, base + i);
+                    }
+                });
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------------
+
+/// See [`IndexedParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn drive<E: Fn(usize, Self::Item) + Sync>(self, each: &E) {
+        self.inner.drive(&|i, item| each(i, (i, item)));
+    }
+}
+
+/// See [`IndexedParallelIterator::map`].
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> IndexedParallelIterator for Map<I, F>
+where
+    I: IndexedParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn drive<E: Fn(usize, Self::Item) + Sync>(self, each: &E) {
+        let f = &self.f;
+        self.inner.drive(&|i, item| each(i, f(item)));
+    }
+}
+
+/// See [`IndexedParallelIterator::zip`]. Both sides are driven by the
+/// left iterator's chunking; the right side must be index-addressable,
+/// which all shim sources are.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator + IndexAddressable<Item = <B as IndexedParallelIterator>::Item>,
+{
+    type Item = (A::Item, <B as IndexedParallelIterator>::Item);
+
+    fn par_len(&self) -> usize {
+        self.a.par_len()
+    }
+
+    fn drive<E: Fn(usize, Self::Item) + Sync>(self, each: &E) {
+        let b = self.b;
+        self.a.drive(&|i, item| each(i, (item, b.get(i))));
+    }
+}
+
+/// Sources whose items can be fetched by index from any thread (shared
+/// access). Used by [`Zip`] to pair the right-hand side.
+pub trait IndexAddressable: Sync {
+    /// The element type.
+    type Item;
+    /// Fetch item `i`.
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+impl<'a, T: Sync> IndexAddressable for ParSlice<'a, T> {
+    type Item = &'a T;
+    fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+impl IndexAddressable for ParRange {
+    type Item = usize;
+    fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// See [`IndexedParallelIterator::flatten`]. Only `for_each` is available
+/// because flattening breaks the one-item-per-index contract.
+pub struct Flatten<I> {
+    inner: I,
+}
+
+impl<I> Flatten<I>
+where
+    I: IndexedParallelIterator,
+    I::Item: IntoIterator,
+    <I::Item as IntoIterator>::Item: Send,
+{
+    /// Parallel `for_each` over the flattened items.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(<I::Item as IntoIterator>::Item) + Sync + Send,
+    {
+        self.inner.drive(&|_, outer| {
+            for item in outer {
+                f(item);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// `.into_par_iter()` on owned collections / ranges.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter: IndexedParallelIterator;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { start: self.start, end: self.end }
+    }
+}
+
+/// `.par_iter()` on collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter: IndexedParallelIterator;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// `.par_iter_mut()` on collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The parallel iterator type.
+    type Iter: IndexedParallelIterator;
+    /// Mutably borrowing conversion.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = ParSliceMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = ParSliceMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut v = vec![0u64; 10_000];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..5000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..5000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_indices_match_items() {
+        let v: Vec<u32> = (0..999).collect();
+        v.par_iter().enumerate().for_each(|(i, &x)| assert_eq!(i as u32, x));
+    }
+
+    #[test]
+    fn zip_pairs_lockstep() {
+        let mut a = vec![0u64; 777];
+        let b: Vec<u64> = (0..777).collect();
+        a.par_iter_mut().zip(b.par_iter()).enumerate().for_each(|(i, (x, &y))| {
+            assert_eq!(i as u64, y);
+            *x = y * 3;
+        });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == 3 * i as u64));
+    }
+
+    #[test]
+    fn flatten_skips_empty_options() {
+        let mut v: Vec<Option<u64>> = (0..100).map(|i| (i % 3 != 0).then_some(i)).collect();
+        let seen = AtomicU64::new(0);
+        v.par_iter_mut().flatten().for_each(|x| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            *x += 1;
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), v.iter().flatten().count() as u64);
+    }
+
+    #[test]
+    fn unzip_and_max() {
+        let (a, b): (Vec<usize>, Vec<usize>) =
+            (0..100usize).into_par_iter().map(|i| (i, 99 - i)).unzip();
+        assert_eq!(a[10], 10);
+        assert_eq!(b[10], 89);
+        assert_eq!(b.par_iter().map(|&x| x).max(), Some(99));
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i).collect();
+            assert_eq!(out.len(), 100);
+        });
+        let pool3 = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool3.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                (0..3000usize)
+                    .into_par_iter()
+                    .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .collect()
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7, 16] {
+            assert_eq!(run(threads), serial, "thread count {threads} changed results");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Hermetic shim for `serde`: re-exports the no-op `Serialize` /
+//! `Deserialize` derive macros so `use serde::{Deserialize, Serialize}` +
+//! `#[derive(...)]` sites compile unchanged in the offline build.
+//!
+//! There are intentionally no `Serialize`/`Deserialize` *traits* here —
+//! nothing in the workspace bounds on them, and omitting the traits means
+//! any future bound fails loudly at compile time instead of silently
+//! matching a blanket no-op.
+
+pub use serde_derive::{Deserialize, Serialize};

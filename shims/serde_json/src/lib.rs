@@ -1,0 +1,614 @@
+//! Hermetic shim for the subset of `serde_json` this workspace uses:
+//! a [`Value`] tree, the [`json!`] macro, compact and pretty printers and
+//! a recursive-descent parser. There is no typed (derive-driven)
+//! serialization — call sites convert to/from `Value` explicitly.
+//!
+//! Objects are backed by `BTreeMap`, so key order in output is sorted and
+//! deterministic (crates.io `serde_json` preserves insertion order; no
+//! call site depends on that).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation (sorted keys, deterministic output).
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: unsigned, signed, or float.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+}
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` on anything else.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(x)) => Some(*x),
+            Value::Number(Number::I64(x)) if *x >= 0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::U64(x)) => i64::try_from(*x).ok(),
+            Value::Number(Number::I64(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, for any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::U64(x)) => Some(*x as f64),
+            Value::Number(Number::I64(x)) => Some(*x as f64),
+            Value::Number(Number::F64(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map, if it is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value { Value::Number(Number::U64(x as u64)) }
+        }
+    )*};
+}
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value {
+                if x >= 0 {
+                    Value::Number(Number::U64(x as u64))
+                } else {
+                    Value::Number(Number::I64(x as i64))
+                }
+            }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Number(Number::F64(x))
+    }
+}
+impl From<f32> for Value {
+    fn from(x: f32) -> Value {
+        Value::Number(Number::F64(x as f64))
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::String(s.clone())
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Build a [`Value`] from a JSON-like literal. Object and array members
+/// are arbitrary expressions converted through `Into<Value>` (a `Value`
+/// passes through unchanged via the reflexive `From`); nest objects with
+/// an inner parenthesized `json!` call.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::Value::from($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(n: &Number, out: &mut String) {
+    match n {
+        Number::U64(x) => out.push_str(&x.to_string()),
+        Number::I64(x) => out.push_str(&x.to_string()),
+        Number::F64(x) => {
+            if x.is_finite() {
+                // Keep integral floats distinguishable from integers so a
+                // parse round-trip preserves the number kind.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                // serde_json emits null for NaN/inf.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, pretty: bool, indent: usize) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&PAD.repeat(indent + 1));
+                }
+                write_value(item, out, pretty, indent + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&PAD.repeat(indent + 1));
+                }
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, out, pretty, indent + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Compact serialization of a [`Value`].
+pub fn to_string(v: &Value) -> Result<String> {
+    let mut out = String::new();
+    write_value(v, &mut out, false, 0);
+    Ok(out)
+}
+
+/// Pretty (2-space indented) serialization of a [`Value`].
+pub fn to_string_pretty(v: &Value) -> Result<String> {
+    let mut out = String::new();
+    write_value(v, &mut out, true, 0);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(Error { msg: format!("{msg} at byte {}", self.pos) })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error { msg: "short \\u escape".into() })?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error { msg: "bad \\u escape".into() })?,
+                                16,
+                            )
+                            .map_err(|_| Error { msg: "bad \\u escape".into() })?;
+                            // Surrogate pairs are not needed by any call
+                            // site; map unpaired surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error { msg: "invalid UTF-8".into() })?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error { msg: "invalid number".into() })?;
+        if float {
+            text.parse::<f64>()
+                .map(|x| Value::Number(Number::F64(x)))
+                .or_else(|_| self.err("invalid float"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(|x| Value::Number(Number::I64(x)))
+                .or_else(|_| self.err("invalid integer"))
+        } else {
+            text.parse::<u64>()
+                .map(|x| Value::Number(Number::U64(x)))
+                .or_else(|_| self.err("invalid integer"))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing data");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let n = 64usize;
+        let v = json!({
+            "n": 2 * n,
+            "ok": true,
+            "name": format!("alg{}", 1),
+            "ratio": 0.5,
+            "tags": json!(["a", "b"]),
+            "inner": json!({"x": 1}),
+            "nothing": Value::Null,
+        });
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(128));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("alg1"));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(0.5));
+        assert_eq!(v.get("tags").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("inner").unwrap().get("x").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("nothing"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let v = json!({
+            "a": json!([1, 2, 3]),
+            "b": json!({"c": "hi \"quoted\"\n", "d": -7}),
+            "e": 2.25,
+        });
+        for s in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn integral_float_survives_roundtrip_as_float() {
+        let v = json!({ "x": 3.0 });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"x":3.0}"#);
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn output_is_deterministic_sorted_keys() {
+        let v = json!({ "z": 1, "a": 2, "m": 3 });
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":2,"m":3,"z":1}"#);
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        let v = json!({ "x": f64::NAN });
+        assert_eq!(to_string(&v).unwrap(), r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("hello").is_err());
+        assert!(from_str("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn parses_whitespace_and_negatives() {
+        let v = from_str(" { \"a\" : [ -3 , 4.5 ] } ").unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_i64(), Some(-3));
+        assert_eq!(arr[1].as_f64(), Some(4.5));
+    }
+}

@@ -105,10 +105,7 @@ fn static_topology_baseline_collapses_under_the_same_churn() {
     let originals: Vec<NodeId> = members.iter().copied().filter(|m| m.raw() < n).collect();
     let joiners = members.len() - originals.len();
     assert!(joiners > 0);
-    assert!(
-        originals.len() < n as usize / 2,
-        "churn should have evicted most originals"
-    );
+    assert!(originals.len() < n as usize / 2, "churn should have evicted most originals");
     // Every joiner is isolated in the static topology: the baseline fails
     // to integrate them, while ExpanderOverlay::reconfigure integrates all
     // joiners within one epoch (see overlay tests).

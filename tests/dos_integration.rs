@@ -57,10 +57,7 @@ fn lemma17_blocking_shares_stay_below_half_per_group() {
     let unblocked = ov.grouped().unblocked_per_group(&blocked);
     for (x, &u) in unblocked.iter().enumerate() {
         let size = ov.grouped().group(x as u64).len();
-        assert!(
-            2 * u > size,
-            "group {x}: only {u} of {size} unblocked — Lemma 17 violated"
-        );
+        assert!(2 * u > size, "group {x}: only {u} of {size} unblocked — Lemma 17 violated");
     }
 }
 

@@ -8,8 +8,76 @@ use proptest::prelude::*;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use reconfig_core::churndos::{LabeledGroups, SizeBand};
-use reconfig_core::config::{Schedule, SamplingParams};
-use simnet::{BlockSet, NodeId};
+use reconfig_core::config::{SamplingParams, Schedule};
+use simnet::{BlockSet, Ctx, Network, NodeId, Protocol};
+
+/// One deterministic message per round to a pseudo-random target; used by
+/// the trace-accounting properties below.
+struct Ping {
+    n: u64,
+    active_rounds: u64,
+}
+
+impl Protocol for Ping {
+    type Msg = u64;
+
+    fn digest(&self, digest: &mut simnet::Digest) {
+        digest.write_u64(self.n);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.take_inbox();
+        if ctx.round() < self.active_rounds {
+            let n = self.n;
+            let to = NodeId(rand::RngExt::random_range(ctx.rng(), 0..n));
+            ctx.send(to, ctx.round());
+        }
+    }
+}
+
+/// Drive a Ping network for `active + 2` rounds under a per-round block
+/// schedule derived from `seed`; returns the network for inspection plus
+/// the analytically-expected number of sends.
+fn run_ping(
+    n: u64,
+    seed: u64,
+    active: u64,
+    block_every: u64,
+    trace_cap: Option<usize>,
+    remove_at: Option<u64>,
+) -> (Network<Ping>, u64) {
+    let mut net: Network<Ping> = Network::new(seed);
+    if let Some(cap) = trace_cap {
+        net.enable_trace(cap);
+    }
+    for i in 0..n {
+        net.add_node(NodeId(i), Ping { n, active_rounds: active });
+    }
+    let mut sent = 0;
+    let mut present = n;
+    for r in 0..active + 2 {
+        // A deterministic, seed-dependent block set each round.
+        let mut blocked = BlockSet::none();
+        if block_every > 0 {
+            for i in 0..n {
+                if (i + r + seed) % block_every == 0 {
+                    blocked.insert(NodeId(i));
+                }
+            }
+        }
+        if Some(r) == remove_at {
+            net.remove_node(NodeId(0));
+            present -= 1;
+        }
+        if r < active {
+            let blocked_present = (0..n).filter(|&i| blocked.contains(NodeId(i))).count() as u64
+                - u64::from(present < n && blocked.contains(NodeId(0)));
+            sent += present - blocked_present;
+        }
+        net.step_blocked(&blocked);
+    }
+    (net, sent)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -124,6 +192,67 @@ proptest! {
             prop_assert!(s.m_at(i - 1) >= s.m_at(i));
         }
         prop_assert!(s.final_size() >= (p.c * exp as f64).floor() as usize);
+    }
+
+    #[test]
+    fn trace_counters_classify_every_send(
+        n in 4u64..40,
+        seed in 0u64..500,
+        active in 1u64..8,
+        block_every in 0u64..6,
+    ) {
+        // After the network drains, every send is classified exactly once:
+        // delivered + dropped_blocked + dropped_missing == sent.
+        let (net, sent) = run_ping(n, seed, active, block_every, Some(1 << 14), None);
+        let t = net.trace();
+        prop_assert_eq!(t.overflow, 0);
+        prop_assert_eq!(t.dropped_missing, 0, "no churn, nothing can go missing");
+        prop_assert_eq!(t.delivered + t.dropped_blocked, sent);
+        // The event log agrees with the counters.
+        let mut d = 0u64;
+        let mut b = 0u64;
+        for ev in t.events() {
+            match ev {
+                simnet::TraceEvent::Delivered { .. } => d += 1,
+                simnet::TraceEvent::DroppedBlocked { .. } => b += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!((d, b), (t.delivered, t.dropped_blocked));
+    }
+
+    #[test]
+    fn trace_counters_classify_every_send_under_churn(
+        n in 4u64..40,
+        seed in 0u64..500,
+        active in 2u64..8,
+    ) {
+        // Removing a node mid-run routes its pending messages to
+        // dropped_missing; the classification identity still holds.
+        let (net, sent) = run_ping(n, seed, active, 0, Some(1 << 14), Some(1));
+        let t = net.trace();
+        prop_assert_eq!(t.overflow, 0);
+        prop_assert_eq!(t.delivered + t.dropped_blocked + t.dropped_missing, sent);
+    }
+
+    #[test]
+    fn counters_only_and_full_trace_agree(
+        n in 4u64..40,
+        seed in 0u64..500,
+        active in 1u64..8,
+        block_every in 0u64..6,
+    ) {
+        // The cheap counters-only mode must report exactly the same
+        // counters (and leave the same stats) as a full event trace.
+        let (lite, _) = run_ping(n, seed, active, block_every, None, None);
+        let (full, _) = run_ping(n, seed, active, block_every, Some(1 << 14), None);
+        let (lt, ft) = (lite.trace(), full.trace());
+        prop_assert_eq!(lt.delivered, ft.delivered);
+        prop_assert_eq!(lt.dropped_blocked, ft.dropped_blocked);
+        prop_assert_eq!(lt.dropped_missing, ft.dropped_missing);
+        prop_assert!(lt.events().is_empty(), "counters-only mode stores no events");
+        prop_assert_eq!(lite.stats().total_msgs(), full.stats().total_msgs());
+        prop_assert_eq!(lite.round_digest(), full.round_digest());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use overlay_graphs::{HGraph, Hypercube};
 use overlay_stats::{tv_distance_uniform, uniform_fit};
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use reconfig_core::config::{Schedule, SamplingParams};
+use reconfig_core::config::{SamplingParams, Schedule};
 use reconfig_core::sampling::{knowledge_spread_rounds, run_alg1, run_alg2, run_baseline};
 use simnet::NodeId;
 
@@ -91,10 +91,7 @@ fn lemma4_lower_bound_is_respected_by_the_samplers() {
     let edges: Vec<(NodeId, NodeId)> = h
         .vertices()
         .flat_map(|v| {
-            h.neighbors(v)
-                .into_iter()
-                .filter(move |&w| w > v)
-                .map(move |w| (NodeId(v), NodeId(w)))
+            h.neighbors(v).into_iter().filter(move |&w| w > v).map(move |w| (NodeId(v), NodeId(w)))
         })
         .collect();
     let adj = overlay_graphs::Adjacency::from_edges(&nodes, &edges);
