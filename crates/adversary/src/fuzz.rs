@@ -16,6 +16,7 @@
 
 use crate::churn::{ChurnSchedule, ChurnStrategy};
 use crate::dos::{DosAdversary, DosStrategy};
+use crate::faults::FaultSchedule;
 use rand::RngExt;
 
 /// The paper-imposed bounds a fuzzed schedule must respect.
@@ -34,6 +35,14 @@ pub struct FuzzLimits {
     pub min_epochs: u64,
     /// Upper end of the epoch range.
     pub max_epochs: u64,
+    /// Beyond-model composite faults: message-loss rates are drawn from
+    /// `[0, max_link_loss)`.
+    pub max_link_loss: f64,
+    /// Per-node per-round crash hazards are drawn from
+    /// `[0, max_crash_hazard)`.
+    pub max_crash_hazard: f64,
+    /// Cap on the crashed fraction of the population for any single plan.
+    pub max_crash_frac: f64,
 }
 
 impl Default for FuzzLimits {
@@ -45,6 +54,9 @@ impl Default for FuzzLimits {
             max_lateness_factor: 4,
             min_epochs: 2,
             max_epochs: 4,
+            max_link_loss: 0.3,
+            max_crash_hazard: 0.002,
+            max_crash_frac: 0.1,
         }
     }
 }
@@ -83,6 +95,15 @@ pub struct FaultPlan {
     pub churn_intensity: f64,
     /// Run length in epochs.
     pub epochs: u64,
+    /// Beyond-model message-loss probability in `[0, max_link_loss)`.
+    pub link_loss: f64,
+    /// Beyond-model per-node per-round crash hazard in
+    /// `[0, max_crash_hazard)`.
+    pub crash_hazard: f64,
+    /// Crash-recovery downtime in rounds (`None` = crash-stop).
+    pub crash_recover_after: Option<u64>,
+    /// Cap on the crashed population fraction (copied from the limits).
+    pub max_crash_frac: f64,
 }
 
 impl FaultPlan {
@@ -94,8 +115,14 @@ impl FaultPlan {
         assert!(limits.min_lateness_factor >= 2, "Theorem 6 requires 2t-lateness");
         assert!(limits.min_lateness_factor <= limits.max_lateness_factor);
         assert!(limits.min_epochs >= 1 && limits.min_epochs <= limits.max_epochs);
+        assert!((0.0..1.0).contains(&limits.max_link_loss));
+        assert!((0.0..1.0).contains(&limits.max_crash_hazard));
+        assert!((0.0..=0.5).contains(&limits.max_crash_frac));
         let mut rng = simnet::rng::stream(seed, u64::MAX - 1, 0xF022);
         let max_bound = 0.5 - limits.epsilon;
+        // Field order below is draw order; the composite-fault fields come
+        // last so plans extend the pre-fault generator without disturbing
+        // the values older seeds produced.
         Self {
             seed,
             dos_strategy: DOS_STRATEGIES[rng.random_range(0..DOS_STRATEGIES.len())],
@@ -108,6 +135,16 @@ impl FaultPlan {
             // In (0, 1]: full intensity is legal, zero is pointless.
             churn_intensity: 1.0 - rng.random::<f64>() * 0.9,
             epochs: rng.random_range(limits.min_epochs..=limits.max_epochs),
+            link_loss: limits.max_link_loss * rng.random::<f64>(),
+            crash_hazard: limits.max_crash_hazard * rng.random::<f64>(),
+            crash_recover_after: {
+                // Both values are always drawn so the draw count per plan
+                // is fixed regardless of the coin.
+                let recoverable = rng.random::<f64>() < 0.5;
+                let down_for = rng.random_range(4..=40);
+                recoverable.then_some(down_for)
+            },
+            max_crash_frac: limits.max_crash_frac,
         }
     }
 
@@ -123,6 +160,11 @@ impl FaultPlan {
             && (limits.min_lateness_factor..=limits.max_lateness_factor)
                 .contains(&self.lateness_factor)
             && (limits.min_epochs..=limits.max_epochs).contains(&self.epochs)
+            && self.link_loss >= 0.0
+            && self.link_loss <= limits.max_link_loss
+            && self.crash_hazard >= 0.0
+            && self.crash_hazard <= limits.max_crash_hazard
+            && self.max_crash_frac <= limits.max_crash_frac + 1e-12
     }
 
     /// Build the planned DoS adversary for an overlay with epoch length
@@ -147,10 +189,22 @@ impl FaultPlan {
         )
     }
 
+    /// Build the planned composite fault schedule (message loss + crashes).
+    pub fn fault_schedule(&self) -> FaultSchedule {
+        FaultSchedule::new(
+            self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(2),
+            self.link_loss,
+            self.crash_hazard,
+            self.crash_recover_after,
+            self.max_crash_frac,
+        )
+    }
+
     /// One-line description for failure messages and run manifests.
     pub fn describe(&self) -> String {
         format!(
-            "seed={} dos={:?} r={:.4} late={}t churn={:?} rate={:.4} intensity={:.4} epochs={}",
+            "seed={} dos={:?} r={:.4} late={}t churn={:?} rate={:.4} intensity={:.4} epochs={} \
+             loss={:.4} crash={:.6} recover={:?}",
             self.seed,
             self.dos_strategy,
             self.dos_bound,
@@ -159,6 +213,9 @@ impl FaultPlan {
             self.churn_rate,
             self.churn_intensity,
             self.epochs,
+            self.link_loss,
+            self.crash_hazard,
+            self.crash_recover_after,
         )
     }
 }
@@ -208,6 +265,32 @@ mod tests {
         assert_eq!(adv.lateness(), plan.lateness_factor * 10);
         let sched = plan.churn_schedule(1_000_000);
         assert_eq!(sched.rate(), plan.churn_rate);
+    }
+
+    #[test]
+    fn composite_fault_fields_stay_within_limits() {
+        let limits = FuzzLimits::default();
+        let mut some_loss = false;
+        let mut some_stop = false;
+        let mut some_recover = false;
+        for seed in 0..200 {
+            let plan = FaultPlan::generate(seed, &limits);
+            assert!((0.0..=limits.max_link_loss).contains(&plan.link_loss));
+            assert!((0.0..=limits.max_crash_hazard).contains(&plan.crash_hazard));
+            some_loss |= plan.link_loss > 0.0;
+            some_stop |= plan.crash_recover_after.is_none();
+            some_recover |= plan.crash_recover_after.is_some();
+        }
+        assert!(some_loss && some_stop && some_recover, "fault space explored");
+    }
+
+    #[test]
+    fn fault_schedule_matches_the_plan() {
+        let plan = FaultPlan::generate(11, &FuzzLimits::default());
+        let sched = plan.fault_schedule();
+        assert_eq!(sched.link_loss(), plan.link_loss);
+        assert_eq!(sched.crash_hazard(), plan.crash_hazard);
+        assert_eq!(sched.recover_after(), plan.crash_recover_after);
     }
 
     #[test]

@@ -15,13 +15,18 @@
 //! * [`fuzz`] — seed-driven generation of paper-legal fault schedules
 //!   (random strategy/bound/lateness/rate combinations within the limits
 //!   above) for the fuzz-testing harness.
+//! * [`faults`] — beyond-model composite fault schedules (probabilistic
+//!   message loss, crash-stop and crash-recovery with state loss) used by
+//!   the self-healing robustness harness in `reconfig-core`.
 
 pub mod churn;
 pub mod dos;
+pub mod faults;
 pub mod fuzz;
 pub mod lateness;
 
 pub use churn::{ChurnEvent, ChurnSchedule, ChurnStrategy};
 pub use dos::{DosAdversary, DosStrategy};
+pub use faults::FaultSchedule;
 pub use fuzz::{FaultPlan, FuzzLimits};
 pub use lateness::{TopologyHistory, TopologySnapshot};

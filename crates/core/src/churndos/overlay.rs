@@ -125,6 +125,25 @@ impl ChurnDosOverlay {
         }
     }
 
+    /// Evict a member immediately (self-healing graceful degradation).
+    /// Unlike a churn leave — which waits for the epoch boundary — an
+    /// eviction removes the node from its group mid-epoch: the remaining
+    /// members simply stop treating it as one of them. Any pending leave
+    /// for the node becomes a no-op at the boundary.
+    pub fn evict(&mut self, v: NodeId) {
+        self.groups.remove(v);
+    }
+
+    /// Re-admit a node after crash-recovery via the ordinary join path:
+    /// the smallest-id current member acts as introducer, and the join
+    /// materializes at the next successful reconfiguration like any other.
+    pub fn rejoin(&mut self, v: NodeId) {
+        let members = self.groups.nodes();
+        assert!(!members.contains(&v), "{v} is still a member");
+        let introducer = members.iter().copied().min().expect("overlay has members");
+        self.pending_joins.push((v, introducer));
+    }
+
     /// Is the non-blocked subgraph connected? Reduces to connectivity of
     /// the Section 6 supernode graph (prefix rule) restricted to
     /// supernodes with a non-blocked member.
@@ -159,9 +178,12 @@ impl ChurnDosOverlay {
     /// Execute one round under the given block set.
     pub fn step(&mut self, blocked: &BlockSet) -> DosRoundMetrics {
         self.round += 1;
+        // Empty groups (possible only after self-healing evictions) are
+        // skipped: a group with no members cannot starve.
         let min_avail = self
             .groups
             .iter()
+            .filter(|(_, g)| !g.is_empty())
             .map(|(_, g)| {
                 g.iter()
                     .filter(|v| !self.prev_blocked.contains(**v) && !blocked.contains(**v))

@@ -113,6 +113,21 @@ impl LabeledGroups {
         self.groups.values().flatten().copied().collect()
     }
 
+    /// Remove a node from whichever group holds it (self-healing
+    /// eviction). Returns false if the node is not a member. The label
+    /// cover is left untouched — mid-epoch departures do not re-shape
+    /// supernodes; the next reconfiguration's split/merge pass restores
+    /// the Equation 1 band.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        for g in self.groups.values_mut() {
+            if let Some(i) = g.iter().position(|&u| u == v) {
+                g.remove(i);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Split supernode `l`: its members are divided uniformly at random
     /// between the two children (the paper's split operation).
     pub fn split<R: Rng + ?Sized>(&mut self, l: Label, rng: &mut R) {

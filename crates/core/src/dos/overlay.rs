@@ -95,7 +95,16 @@ impl DosOverlay {
     pub fn step(&mut self, blocked: &BlockSet) -> DosRoundMetrics {
         self.round += 1;
         let avail = self.grouped.available_per_group(&self.prev_blocked, blocked);
-        let min_avail = avail.iter().copied().min().unwrap_or(0);
+        // Empty groups (possible only after self-healing evictions; never
+        // in a paper-model run) cannot starve — the min is over occupied
+        // groups.
+        let min_avail = avail
+            .iter()
+            .zip(self.grouped.groups())
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(&a, _)| a)
+            .min()
+            .unwrap_or(0);
         if min_avail == 0 {
             self.epoch_ok = false;
         }
@@ -145,6 +154,22 @@ impl DosOverlay {
         }
         out.epochs = self.epochs_done;
         out
+    }
+
+    /// Evict a member (self-healing graceful degradation: a node whose
+    /// heartbeats stopped or whose re-requests exhausted their retries).
+    /// Unknown nodes are ignored.
+    pub fn evict(&mut self, v: NodeId) {
+        self.grouped.remove(v);
+    }
+
+    /// Re-admit a node after crash-recovery via the join path: it is
+    /// placed in a uniformly random group, exactly as the per-epoch
+    /// resampling would place it.
+    pub fn rejoin(&mut self, v: NodeId) {
+        use rand::RngExt;
+        let x = self.rng.random_range(0..self.grouped.cube().len());
+        self.grouped.insert(v, x);
     }
 
     /// The group sizes as a map (diagnostics for Lemma 16 experiments).

@@ -94,6 +94,27 @@ impl GroupedNetwork {
         self.assign.get(&v).copied()
     }
 
+    /// Remove a node from its group (self-healing eviction). Returns false
+    /// if the node was not a member.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        match self.assign.remove(&v) {
+            Some(x) => {
+                self.groups[x as usize].retain(|&u| u != v);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert a node into the group of supernode `x` (rejoin after
+    /// crash-recovery). The node must not already be a member.
+    pub fn insert(&mut self, v: NodeId, x: u64) {
+        assert!(!self.assign.contains_key(&v), "{v:?} is already a member");
+        assert!(x < self.cube.len(), "supernode {x} out of range");
+        self.groups[x as usize].push(v);
+        self.assign.insert(v, x);
+    }
+
     /// Smallest and largest group size (Lemma 16 quantities).
     pub fn group_size_range(&self) -> (usize, usize) {
         let min = self.groups.iter().map(Vec::len).min().unwrap_or(0);

@@ -1,0 +1,856 @@
+//! Self-healing under composite faults.
+//!
+//! The paper's model has no message loss and no crashes: a blocked node is
+//! silenced by the adversary but keeps its state, and the availability
+//! precondition (every group keeps an available member) guarantees that
+//! reconfiguration information reaches everyone. This module drives the
+//! overlay families through the *beyond-model* faults of
+//! [`overlay_adversary::faults::FaultSchedule`] — probabilistic loss of
+//! reconfiguration broadcasts, crash-stop, crash-recovery with state loss —
+//! and implements the self-healing the paper does not need:
+//!
+//! * **heartbeat staleness counters** — a member that stays silent for a
+//!   configurable number of epochs is evicted (graceful degradation), so
+//!   crash-stopped corpses do not accumulate in the membership;
+//! * **re-requests with capped retry + exponential backoff** — a member
+//!   that missed a reconfiguration broadcast (it is *desynchronized*: it no
+//!   longer knows the current group structure) re-requests the assignment;
+//!   each attempt is itself subject to message loss, attempts back off
+//!   exponentially in rounds, and exhausting the retry budget evicts the
+//!   node;
+//! * **rejoin after crash-recovery** — a node that recovers after its
+//!   membership was evicted re-enters through the family's ordinary join
+//!   path.
+//!
+//! Without healing, desynchronization is *sticky*: the re-request protocol
+//! is exactly what healing adds, so a node that missed the assignment never
+//! learns the current structure — later broadcasts are routed within a
+//! structure it no longer tracks. The no-healing control therefore
+//! accumulates stale members until the availability precondition collapses,
+//! reconfiguration freezes (a failed epoch does not resample), and the
+//! overlay degrades — which is what the fuzz control tests and the
+//! `exp_a5_fault_survival` benchmark demonstrate.
+//!
+//! One modeling line is held throughout: **paper-model DoS blocking never
+//! desynchronizes anyone.** A blocked node keeps its state and the paper's
+//! epoch protocol tolerates blocking by design; only beyond-model loss and
+//! crashes cause state divergence. Healing timeouts are measured in epochs
+//! so that a member legally blocked for a long stretch is not evicted
+//! wrongly.
+
+use crate::metrics::DosRoundMetrics;
+use crate::monitor::{Invariant, InvariantMonitor};
+use crate::reconfig::overlay::ExpanderOverlay;
+use overlay_adversary::dos::DosAdversary;
+use overlay_adversary::faults::FaultSchedule;
+use overlay_adversary::lateness::TopologySnapshot;
+use simnet::{BlockSet, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tuning knobs of the self-healing layer.
+#[derive(Clone, Copy, Debug)]
+pub struct HealingParams {
+    /// Epochs of continuous silence before a member is evicted. Measured
+    /// in epochs (not rounds) because a `(1/2 - eps)`-bounded adversary may
+    /// legally block the same node for many consecutive rounds; evicting
+    /// paper-legally-blocked members would break the theorems' regime.
+    pub heartbeat_epochs: u64,
+    /// Maximum re-request attempts for a lost reconfiguration message.
+    pub max_retries: u32,
+    /// Rounds until the first retry; attempt `k` waits `base * 2^k`.
+    pub backoff_base: u64,
+}
+
+impl Default for HealingParams {
+    fn default() -> Self {
+        Self { heartbeat_epochs: 3, max_retries: 5, backoff_base: 1 }
+    }
+}
+
+/// Aggregate healing statistics of a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HealingStats {
+    /// Members that lost a reconfiguration broadcast.
+    pub desync_events: u64,
+    /// Re-request attempts sent.
+    pub retries: u64,
+    /// Re-requests that succeeded (member resynchronized).
+    pub resyncs: u64,
+    /// Members whose retry budget ran out.
+    pub exhausted: u64,
+    /// Members evicted (stale heartbeat or exhausted retries).
+    pub evictions: u64,
+    /// Recovered nodes re-admitted via the join path.
+    pub rejoins: u64,
+    /// Crash events injected by the schedule.
+    pub crashes: u64,
+}
+
+/// Outcome of one re-request attempt.
+enum RetryOutcome {
+    /// The assignment arrived; the member is synchronized again.
+    Resynced,
+    /// Lost again; the member backs off and will retry later.
+    Backoff,
+    /// The retry budget is spent; the member gives up.
+    Exhausted,
+}
+
+#[derive(Clone, Debug)]
+struct RetryState {
+    attempts: u32,
+    next_due: u64,
+}
+
+/// Per-member failure-detection state: staleness counters and retry
+/// schedules.
+#[derive(Clone, Debug)]
+pub struct HealthTracker {
+    timeout_epochs: u64,
+    max_retries: u32,
+    backoff_base: u64,
+    /// Consecutive epochs of silence per member (bumped at boundaries).
+    staleness: BTreeMap<NodeId, u64>,
+    /// Members currently re-requesting the assignment.
+    retries: BTreeMap<NodeId, RetryState>,
+    /// Members that missed a reconfiguration broadcast and have not yet
+    /// recovered the current structure.
+    desynced: BTreeSet<NodeId>,
+    /// Aggregate counters.
+    pub stats: HealingStats,
+}
+
+impl HealthTracker {
+    /// Build a tracker from the healing parameters.
+    pub fn new(params: HealingParams) -> Self {
+        Self {
+            timeout_epochs: params.heartbeat_epochs.max(1),
+            max_retries: params.max_retries.max(1),
+            backoff_base: params.backoff_base.max(1),
+            staleness: BTreeMap::new(),
+            retries: BTreeMap::new(),
+            desynced: BTreeSet::new(),
+            stats: HealingStats::default(),
+        }
+    }
+
+    /// Record that `v` missed a reconfiguration broadcast. With healing,
+    /// this schedules its first re-request; without, the desync is sticky.
+    fn mark_desynced(&mut self, v: NodeId, round: u64, healing: bool) {
+        if self.desynced.insert(v) {
+            self.stats.desync_events += 1;
+        }
+        if healing {
+            self.retries
+                .entry(v)
+                .or_insert(RetryState { attempts: 0, next_due: round + self.backoff_base });
+        }
+    }
+
+    /// Members currently desynchronized (sorted).
+    pub fn desynced(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.desynced.iter().copied()
+    }
+
+    /// Number of desynchronized members.
+    pub fn desynced_len(&self) -> usize {
+        self.desynced.len()
+    }
+
+    /// Members whose next re-request is due at `round` (sorted).
+    fn due_retries(&self, round: u64) -> Vec<NodeId> {
+        self.retries.iter().filter(|(_, s)| s.next_due <= round).map(|(&v, _)| v).collect()
+    }
+
+    /// Account one re-request attempt for `v`.
+    fn note_retry(&mut self, v: NodeId, round: u64, success: bool) -> RetryOutcome {
+        self.stats.retries += 1;
+        let state = self.retries.get_mut(&v).expect("retry state exists");
+        state.attempts += 1;
+        if success {
+            self.retries.remove(&v);
+            self.desynced.remove(&v);
+            self.stats.resyncs += 1;
+            RetryOutcome::Resynced
+        } else if state.attempts >= self.max_retries {
+            self.stats.exhausted += 1;
+            RetryOutcome::Exhausted
+        } else {
+            state.next_due = round + (self.backoff_base << state.attempts);
+            RetryOutcome::Backoff
+        }
+    }
+
+    /// Bump epoch-granularity staleness counters: `silent` holds the
+    /// members that produced no heartbeat this epoch. Members in an active
+    /// retry exchange are being healed, not suspected — their counters do
+    /// not advance. Returns the members whose silence outlived the timeout
+    /// (the caller evicts them).
+    fn observe_epoch(&mut self, members: &[NodeId], silent: &BTreeSet<NodeId>) -> Vec<NodeId> {
+        let mut evict = Vec::new();
+        for &v in members {
+            if silent.contains(&v) && !self.retries.contains_key(&v) {
+                let c = self.staleness.entry(v).or_insert(0);
+                *c += 1;
+                if *c >= self.timeout_epochs {
+                    evict.push(v);
+                }
+            } else {
+                self.staleness.remove(&v);
+            }
+        }
+        for v in &evict {
+            self.forget(*v);
+        }
+        evict
+    }
+
+    /// Drop all state about `v` (evicted or crashed).
+    fn forget(&mut self, v: NodeId) {
+        self.staleness.remove(&v);
+        self.retries.remove(&v);
+        self.desynced.remove(&v);
+    }
+}
+
+/// The round-stepped overlay interface the healing runner drives: both
+/// group families ([`crate::dos::overlay::DosOverlay`] and
+/// [`crate::churndos::overlay::ChurnDosOverlay`]) expose exactly this
+/// shape. The epoch-level expander family has its own runner
+/// ([`ExpanderFaultRun`]).
+pub trait Healable {
+    /// Current members in ascending id order.
+    fn members_sorted(&self) -> Vec<NodeId>;
+    /// Member count.
+    fn len(&self) -> usize;
+    /// True when no members remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Rounds executed so far.
+    fn round(&self) -> u64;
+    /// Rounds per epoch.
+    fn epoch_len(&self) -> u64;
+    /// Completed epochs (successful or failed).
+    fn epochs(&self) -> u64;
+    /// Epochs that failed the availability precondition.
+    fn failed_epochs(&self) -> u64;
+    /// Topology snapshot for the (late) adversary.
+    fn snapshot(&self, round: u64) -> TopologySnapshot;
+    /// Execute one overlay round under the given block set.
+    fn step_overlay(&mut self, blocked: &BlockSet) -> DosRoundMetrics;
+    /// Remove a member (graceful degradation).
+    fn evict(&mut self, v: NodeId);
+    /// Re-admit a recovered node via the family's join path (may be
+    /// deferred to the next reconfiguration).
+    fn rejoin(&mut self, v: NodeId);
+    /// Family-specific structural check beyond connectivity; `None` = ok.
+    fn structure_violation(&self) -> Option<String>;
+}
+
+impl Healable for crate::dos::overlay::DosOverlay {
+    fn members_sorted(&self) -> Vec<NodeId> {
+        let mut m = self.grouped().nodes();
+        m.sort_unstable();
+        m
+    }
+    fn len(&self) -> usize {
+        self.grouped().len()
+    }
+    fn round(&self) -> u64 {
+        self.round()
+    }
+    fn epoch_len(&self) -> u64 {
+        self.epoch_len()
+    }
+    fn epochs(&self) -> u64 {
+        self.epochs()
+    }
+    fn failed_epochs(&self) -> u64 {
+        self.failed_epochs
+    }
+    fn snapshot(&self, round: u64) -> TopologySnapshot {
+        self.grouped().snapshot(round)
+    }
+    fn step_overlay(&mut self, blocked: &BlockSet) -> DosRoundMetrics {
+        self.step(blocked)
+    }
+    fn evict(&mut self, v: NodeId) {
+        self.evict(v);
+    }
+    fn rejoin(&mut self, v: NodeId) {
+        self.rejoin(v);
+    }
+    fn structure_violation(&self) -> Option<String> {
+        // Lemma 16 upper band with generous slack: evictions shrink groups
+        // but random resampling must never overfill one.
+        let expected = self.grouped().len() as f64 / self.grouped().cube().len() as f64;
+        let (_, max) = self.grouped().group_size_range();
+        (max as f64 > 3.0 * expected.max(1.0))
+            .then(|| format!("group size {max} vs expected {expected:.1}"))
+    }
+}
+
+impl Healable for crate::churndos::overlay::ChurnDosOverlay {
+    fn members_sorted(&self) -> Vec<NodeId> {
+        let mut m = self.members();
+        m.sort_unstable();
+        m
+    }
+    fn len(&self) -> usize {
+        self.len()
+    }
+    fn round(&self) -> u64 {
+        self.round()
+    }
+    fn epoch_len(&self) -> u64 {
+        self.epoch_len()
+    }
+    fn epochs(&self) -> u64 {
+        self.epochs()
+    }
+    fn failed_epochs(&self) -> u64 {
+        self.failed_epochs
+    }
+    fn snapshot(&self, round: u64) -> TopologySnapshot {
+        self.snapshot(round)
+    }
+    fn step_overlay(&mut self, blocked: &BlockSet) -> DosRoundMetrics {
+        self.step(blocked)
+    }
+    fn evict(&mut self, v: NodeId) {
+        self.evict(v);
+    }
+    fn rejoin(&mut self, v: NodeId) {
+        self.rejoin(v);
+    }
+    fn structure_violation(&self) -> Option<String> {
+        // The label cover itself must stay a prefix cover (Lemma 18's
+        // structural half); sizes may dip below the band mid-epoch while
+        // evictions outpace reconfiguration.
+        (!self.groups().lemma18_holds()).then(|| "label cover out of Lemma 18 shape".to_string())
+    }
+}
+
+/// Drives a round-stepped overlay through a composite fault schedule with
+/// (or, as a control, without) self-healing, checking the invariants every
+/// round.
+pub struct FaultyRunner<O: Healable> {
+    /// The overlay under test.
+    pub overlay: O,
+    schedule: FaultSchedule,
+    tracker: HealthTracker,
+    /// Per-round invariant verdicts.
+    pub monitor: InvariantMonitor,
+    healing: bool,
+    /// Declared adversary budget, checked as the blocking-budget invariant.
+    dos_bound: Option<f64>,
+    /// Crashed nodes -> recovery round (`u64::MAX` = crash-stop).
+    down: BTreeMap<NodeId, u64>,
+    /// Crashed nodes whose membership was evicted while they were down.
+    evicted_while_down: BTreeSet<NodeId>,
+}
+
+impl<O: Healable> FaultyRunner<O> {
+    /// Wrap an overlay. `healing = false` is the degradation control: the
+    /// same faults are injected but nobody re-requests, evicts or rejoins.
+    pub fn new(overlay: O, schedule: FaultSchedule, params: HealingParams, healing: bool) -> Self {
+        let epoch_len = overlay.epoch_len();
+        let monitor = InvariantMonitor::new()
+            // Availability gets one epoch of grace: a transiently starved
+            // group only matters if it stays starved long enough to fail
+            // the epoch's precondition.
+            .with_grace(Invariant::Availability, epoch_len)
+            .with_grace(Invariant::StaleBound, epoch_len);
+        Self {
+            overlay,
+            schedule,
+            tracker: HealthTracker::new(params),
+            monitor,
+            healing,
+            dos_bound: None,
+            down: BTreeMap::new(),
+            evicted_while_down: BTreeSet::new(),
+        }
+    }
+
+    /// Declare the adversary's blocking budget so the monitor can check it.
+    pub fn with_dos_bound(mut self, bound: f64) -> Self {
+        self.dos_bound = Some(bound);
+        self
+    }
+
+    /// Healing statistics accumulated so far.
+    pub fn stats(&self) -> HealingStats {
+        self.tracker.stats
+    }
+
+    /// Members currently crashed.
+    pub fn down_len(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Members currently desynchronized.
+    pub fn desynced_len(&self) -> usize {
+        self.tracker.desynced_len()
+    }
+
+    /// Execute one round: inject recoveries and fresh crashes, run the
+    /// healing protocol, step the overlay under the *effective* block set
+    /// (adversary ∪ crashed ∪ desynced — a desynchronized node cannot
+    /// participate: it does not know the current structure), then draw
+    /// reconfiguration-broadcast losses if an epoch boundary resampled,
+    /// and feed the invariant monitor.
+    pub fn step(&mut self, dos_blocked: &BlockSet) -> DosRoundMetrics {
+        let round = self.overlay.round(); // round about to execute
+        let epochs_before = self.overlay.epochs();
+        let failed_before = self.overlay.failed_epochs();
+
+        // Crash-recoveries due this round.
+        let due: Vec<NodeId> =
+            self.down.iter().filter(|&(_, &r)| r <= round).map(|(&v, _)| v).collect();
+        for v in due {
+            self.down.remove(&v);
+            if self.evicted_while_down.remove(&v) {
+                // Its membership is gone; only healing re-admits it.
+                if self.healing {
+                    self.overlay.rejoin(v);
+                    self.tracker.stats.rejoins += 1;
+                }
+            } else {
+                // Still a member, but its state is lost: it no longer
+                // knows the current group structure.
+                self.tracker.mark_desynced(v, round, self.healing);
+            }
+        }
+
+        // Fresh crashes among live members.
+        let members = self.overlay.members_sorted();
+        let up: Vec<NodeId> =
+            members.iter().copied().filter(|v| !self.down.contains_key(v)).collect();
+        for v in self.schedule.draw_crashes(&up, members.len()) {
+            let back = self.schedule.recover_after().map_or(u64::MAX, |k| round + k);
+            self.down.insert(v, back);
+            self.tracker.stats.crashes += 1;
+            // Whatever retry conversation it had is lost with its state.
+            self.tracker.forget(v);
+        }
+
+        if self.healing {
+            // Due re-requests: each attempt is one message exchange,
+            // itself subject to loss.
+            for v in self.tracker.due_retries(round) {
+                let success = !self.schedule.lose_message();
+                if let RetryOutcome::Exhausted = self.tracker.note_retry(v, round, success) {
+                    self.tracker.forget(v);
+                    self.overlay.evict(v);
+                    self.tracker.stats.evictions += 1;
+                }
+            }
+            // Heartbeat staleness, bumped once per epoch: from the group's
+            // point of view a crashed, desynced or blocked member is just
+            // silent; retrying members are exempt (the healing exchange is
+            // their heartbeat).
+            if round > 0 && round % self.overlay.epoch_len() == 0 {
+                let mut silent: BTreeSet<NodeId> = self.down.keys().copied().collect();
+                silent.extend(dos_blocked.iter());
+                silent.extend(self.tracker.desynced());
+                let members_now = self.overlay.members_sorted();
+                for v in self.tracker.observe_epoch(&members_now, &silent) {
+                    self.overlay.evict(v);
+                    self.tracker.stats.evictions += 1;
+                    if self.down.contains_key(&v) {
+                        self.evicted_while_down.insert(v);
+                    }
+                }
+            }
+        }
+
+        // Effective silence: adversary blocking plus crashed plus
+        // desynchronized members.
+        let mut eff = dos_blocked.clone();
+        for &v in self.down.keys() {
+            eff.insert(v);
+        }
+        for v in self.tracker.desynced() {
+            eff.insert(v);
+        }
+
+        let m = self.overlay.step_overlay(&eff);
+
+        // If the boundary just resampled (epochs advanced, no new failed
+        // epoch), every live member must learn its fresh assignment; each
+        // broadcast is subject to loss. A failed epoch keeps the stale
+        // structure, so there is nothing new to miss — and nothing that
+        // would resynchronize anyone either.
+        if self.overlay.epochs() > epochs_before && self.overlay.failed_epochs() == failed_before {
+            for v in self.overlay.members_sorted() {
+                if !self.down.contains_key(&v) && self.schedule.lose_message() {
+                    self.tracker.mark_desynced(v, m.round, self.healing);
+                }
+            }
+        }
+
+        self.monitor.begin_round();
+        self.monitor.check(Invariant::Connectivity, m.round, m.connected, || {
+            format!("effective block set of {} silences a cut", eff.len())
+        });
+        self.monitor.check(Invariant::Availability, m.round, m.min_group_available > 0, || {
+            "a group has no available member".to_string()
+        });
+        let structure = self.overlay.structure_violation();
+        self.monitor.check(Invariant::GroupSizeBand, m.round, structure.is_none(), || {
+            structure.clone().unwrap_or_default()
+        });
+        let stale = self.tracker.desynced_len()
+            + self.down.keys().filter(|v| !self.evicted_while_down.contains(v)).count();
+        let n_now = self.overlay.len().max(1);
+        self.monitor.check(Invariant::StaleBound, m.round, stale * 2 <= n_now, || {
+            format!("{stale} of {n_now} members crashed or desynchronized")
+        });
+        m
+    }
+
+    /// Drive the overlay against a DoS adversary for `rounds` rounds. The
+    /// blocking budget is judged here, against the population the
+    /// adversary was given — healing may shrink the membership inside the
+    /// subsequent step without retroactively delegitimizing the block set.
+    pub fn run(&mut self, adversary: &mut DosAdversary, rounds: u64) {
+        for _ in 0..rounds {
+            let round = self.overlay.round();
+            adversary.observe(self.overlay.snapshot(round));
+            let n = self.overlay.len();
+            let blocked = adversary.block(round, n);
+            if let Some(bound) = self.dos_bound {
+                self.monitor.check(
+                    Invariant::BlockingBudget,
+                    round,
+                    blocked.within_bound(bound, n),
+                    || format!("{} blocked of {n} (bound {bound:.3})", blocked.len()),
+                );
+            }
+            self.step(&blocked);
+        }
+    }
+}
+
+/// Epoch-level fault runner for the expander family: crash and loss events
+/// are drawn per epoch, retries are compressed into the epoch they belong
+/// to (the epoch is `Theta(log log n)` rounds — room for a full backoff
+/// ladder), and connectivity is judged on the H-graph minus the silent
+/// members.
+pub struct ExpanderFaultRun {
+    /// The overlay under test.
+    pub overlay: ExpanderOverlay,
+    schedule: FaultSchedule,
+    params: HealingParams,
+    /// Per-epoch invariant verdicts (`round` = epoch number).
+    pub monitor: InvariantMonitor,
+    healing: bool,
+    /// Crashed nodes -> recovery epoch (`u64::MAX` = crash-stop).
+    down: BTreeMap<NodeId, u64>,
+    desynced: BTreeSet<NodeId>,
+    evicted_while_down: BTreeSet<NodeId>,
+    staleness: BTreeMap<NodeId, u64>,
+    /// Rounds of the last completed epoch (converts crash-recovery
+    /// downtimes from rounds to epochs).
+    last_epoch_rounds: u64,
+    /// Aggregate healing counters.
+    pub stats: HealingStats,
+}
+
+impl ExpanderFaultRun {
+    /// Wrap an overlay; `healing = false` is the degradation control.
+    pub fn new(
+        overlay: ExpanderOverlay,
+        schedule: FaultSchedule,
+        params: HealingParams,
+        healing: bool,
+    ) -> Self {
+        Self {
+            overlay,
+            schedule,
+            params,
+            monitor: InvariantMonitor::new(),
+            healing,
+            down: BTreeMap::new(),
+            desynced: BTreeSet::new(),
+            evicted_while_down: BTreeSet::new(),
+            staleness: BTreeMap::new(),
+            last_epoch_rounds: 16,
+            stats: HealingStats::default(),
+        }
+    }
+
+    /// Members currently desynchronized.
+    pub fn desynced_len(&self) -> usize {
+        self.desynced.len()
+    }
+
+    /// Members currently crashed or desynchronized (the functionally dead).
+    fn dead(&self) -> BTreeSet<NodeId> {
+        let mut dead: BTreeSet<NodeId> = self.down.keys().copied().collect();
+        dead.extend(self.desynced.iter().copied());
+        dead
+    }
+
+    /// Run one reconfiguration epoch under the fault schedule.
+    pub fn run_epoch(&mut self) {
+        let epoch = self.overlay.epoch();
+
+        // Crash-recoveries due this epoch.
+        let due: Vec<NodeId> =
+            self.down.iter().filter(|&(_, &e)| e <= epoch).map(|(&v, _)| v).collect();
+        for v in due {
+            self.down.remove(&v);
+            if self.evicted_while_down.remove(&v) {
+                if self.healing {
+                    self.overlay.rejoin(v);
+                    self.stats.rejoins += 1;
+                }
+            } else if self.desynced.insert(v) {
+                self.stats.desync_events += 1;
+            }
+        }
+
+        // Fresh crashes among live members.
+        let mut members: Vec<NodeId> = self.overlay.members().to_vec();
+        members.sort_unstable();
+        let up: Vec<NodeId> =
+            members.iter().copied().filter(|v| !self.down.contains_key(v)).collect();
+        let epochs_down =
+            self.schedule.recover_after().map(|rounds| 1 + rounds / self.last_epoch_rounds.max(1));
+        for v in self.schedule.draw_crashes(&up, members.len()) {
+            self.down.insert(v, epochs_down.map_or(u64::MAX, |k| epoch + k));
+            self.stats.crashes += 1;
+        }
+
+        // Heartbeat staleness: crashed members go silent; desynced ones
+        // are in the retry exchange (their heartbeat) unless healing is
+        // off, in which case nobody watches anyway.
+        if self.healing {
+            for &v in &members {
+                if self.down.contains_key(&v) {
+                    let c = self.staleness.entry(v).or_insert(0);
+                    *c += 1;
+                    if *c >= self.params.heartbeat_epochs {
+                        self.overlay.evict(v);
+                        self.evicted_while_down.insert(v);
+                        self.staleness.remove(&v);
+                        self.stats.evictions += 1;
+                    }
+                } else {
+                    self.staleness.remove(&v);
+                }
+            }
+        }
+
+        let metrics = self.overlay.reconfigure();
+        self.last_epoch_rounds = metrics.rounds.max(1);
+
+        // The epoch's closing broadcast announces the fresh topology to
+        // each synchronized live member independently, subject to loss.
+        // Desync is *sticky*: a member that missed an earlier broadcast no
+        // longer tracks the structure later announcements are routed
+        // through, so it cannot hear them either — recovering it is
+        // exactly what the healing re-request does.
+        self.desynced.retain(|v| self.overlay.graph().contains(*v));
+        let mut now_members: Vec<NodeId> = self.overlay.members().to_vec();
+        now_members.sort_unstable();
+        for v in now_members {
+            if self.down.contains_key(&v) || self.desynced.contains(&v) {
+                continue;
+            }
+            if self.schedule.lose_message() && self.desynced.insert(v) {
+                self.stats.desync_events += 1;
+            }
+        }
+        // Healing: compressed retry ladder within the epoch, covering
+        // every desynchronized live member — fresh broadcast losses and
+        // just-recovered nodes alike. Exhaustion evicts for good.
+        if self.healing {
+            let pending: Vec<NodeId> =
+                self.desynced.iter().copied().filter(|v| !self.down.contains_key(v)).collect();
+            for v in pending {
+                let mut synced = false;
+                for _ in 0..self.params.max_retries {
+                    self.stats.retries += 1;
+                    if !self.schedule.lose_message() {
+                        synced = true;
+                        break;
+                    }
+                }
+                self.desynced.remove(&v);
+                if synced {
+                    self.stats.resyncs += 1;
+                } else {
+                    self.stats.exhausted += 1;
+                    self.overlay.evict(v);
+                    self.stats.evictions += 1;
+                }
+            }
+        }
+
+        // Invariants, judged per epoch on the functional graph: members
+        // minus the crashed and desynchronized.
+        let dead = self.dead();
+        let e = self.overlay.epoch();
+        self.monitor.begin_round();
+        self.monitor.check(Invariant::Connectivity, e, self.connected_minus_dead(&dead), || {
+            format!("graph minus {} dead members is disconnected", dead.len())
+        });
+        let d = self.overlay.graph().degree();
+        let degree_ok =
+            self.overlay.members().iter().all(|&v| self.overlay.graph().neighbors(v).len() == d);
+        self.monitor.check(Invariant::DegreeBound, e, degree_ok, || {
+            format!("a member's degree deviates from d = {d}")
+        });
+        let n = self.overlay.members().len().max(1);
+        let stale = self.overlay.members().iter().filter(|v| dead.contains(v)).count();
+        self.monitor.check(Invariant::StaleBound, e, stale * 2 <= n, || {
+            format!("{stale} of {n} members crashed or desynchronized")
+        });
+    }
+
+    /// Is the H-graph restricted to non-dead members connected? Vacuously
+    /// true when fewer than two live members remain.
+    fn connected_minus_dead(&self, dead: &BTreeSet<NodeId>) -> bool {
+        let graph = self.overlay.graph();
+        let live: Vec<NodeId> =
+            self.overlay.members().iter().copied().filter(|v| !dead.contains(v)).collect();
+        if live.len() <= 1 {
+            return true;
+        }
+        let live_set: BTreeSet<NodeId> = live.iter().copied().collect();
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut queue = vec![live[0]];
+        seen.insert(live[0]);
+        while let Some(v) = queue.pop() {
+            for w in graph.neighbors(v) {
+                if live_set.contains(&w) && seen.insert(w) {
+                    queue.push(w);
+                }
+            }
+        }
+        seen.len() == live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churndos::overlay::{ChurnDosOverlay, ChurnDosParams};
+    use crate::config::SamplingParams;
+    use crate::dos::overlay::{DosOverlay, DosParams};
+    use overlay_adversary::dos::DosStrategy;
+
+    fn sched(seed: u64, loss: f64, hazard: f64, recover: Option<u64>) -> FaultSchedule {
+        FaultSchedule::new(seed, loss, hazard, recover, 0.1)
+    }
+
+    #[test]
+    fn faultless_schedule_is_the_identity() {
+        // A null schedule with healing on must reproduce the plain run.
+        let mut plain = DosOverlay::new(512, DosParams::default(), 1);
+        let mut runner = FaultyRunner::new(
+            DosOverlay::new(512, DosParams::default(), 1),
+            sched(9, 0.0, 0.0, None),
+            HealingParams::default(),
+            true,
+        );
+        for _ in 0..3 * plain.epoch_len() {
+            let b = BlockSet::none();
+            plain.step(&b);
+            runner.step(&b);
+        }
+        assert_eq!(plain.state_digest(), runner.overlay.state_digest());
+        assert!(runner.monitor.ok(), "{}", runner.monitor.report());
+        let s = runner.stats();
+        assert_eq!(
+            (s.crashes, s.desync_events, s.evictions, s.rejoins, s.retries),
+            (0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn healing_survives_loss_and_crashes() {
+        let ov = DosOverlay::new(512, DosParams::default(), 2);
+        let epoch_len = ov.epoch_len();
+        let mut runner = FaultyRunner::new(
+            ov,
+            sched(3, 0.25, 0.001, Some(2 * epoch_len)),
+            HealingParams::default(),
+            true,
+        )
+        .with_dos_bound(0.3);
+        let mut adv = DosAdversary::new(DosStrategy::Random, 0.3, 2 * epoch_len, 5);
+        runner.run(&mut adv, 6 * epoch_len);
+        assert_eq!(runner.monitor.count(Invariant::Connectivity), 0, "{}", runner.monitor.report());
+        assert_eq!(runner.monitor.count(Invariant::GroupSizeBand), 0);
+        let s = runner.stats();
+        assert!(s.desync_events > 0, "loss at 0.25 must desync someone");
+        assert!(s.resyncs > 0, "retries must succeed sometimes");
+    }
+
+    #[test]
+    fn no_healing_control_degrades() {
+        // Same fault pressure, no healing: desync is sticky, corpses stay
+        // members, and the stale-membership bound must eventually fall.
+        let ov = DosOverlay::new(512, DosParams::default(), 2);
+        let epoch_len = ov.epoch_len();
+        let mut runner =
+            FaultyRunner::new(ov, sched(3, 0.35, 0.002, None), HealingParams::default(), false);
+        let mut adv = DosAdversary::new(DosStrategy::Random, 0.3, 2 * epoch_len, 5);
+        runner.run(&mut adv, 10 * epoch_len);
+        assert!(!runner.monitor.ok(), "control run should violate an invariant");
+        assert_eq!(runner.stats().retries, 0, "control must not heal");
+    }
+
+    #[test]
+    fn recovered_node_rejoins_via_join_path() {
+        // Crash one era long enough for the heartbeat to evict, then watch
+        // the node rejoin after recovery.
+        let ov = ChurnDosOverlay::new(600, ChurnDosParams::default(), 3);
+        let epoch_len = ov.epoch_len();
+        let params = HealingParams { heartbeat_epochs: 1, ..HealingParams::default() };
+        let mut runner =
+            FaultyRunner::new(ov, sched(11, 0.0, 0.004, Some(4 * epoch_len)), params, true);
+        for _ in 0..8 * epoch_len {
+            runner.step(&BlockSet::none());
+        }
+        let s = runner.stats();
+        assert!(s.crashes > 0, "hazard 0.004 over 8 epochs must crash someone");
+        assert!(s.evictions > 0, "1-epoch heartbeat must evict crashed members");
+        assert!(s.rejoins > 0, "recovered nodes must rejoin");
+        assert!(runner.monitor.count(Invariant::Connectivity) == 0, "{}", runner.monitor.report());
+    }
+
+    #[test]
+    fn expander_healing_beats_control() {
+        let mk = || ExpanderOverlay::new(64, 8, SamplingParams::default(), 4);
+        let mut healed =
+            ExpanderFaultRun::new(mk(), sched(7, 0.3, 0.01, None), HealingParams::default(), true);
+        let mut control =
+            ExpanderFaultRun::new(mk(), sched(7, 0.3, 0.01, None), HealingParams::default(), false);
+        for _ in 0..8 {
+            healed.run_epoch();
+            control.run_epoch();
+        }
+        assert_eq!(
+            healed.monitor.count(Invariant::Connectivity)
+                + healed.monitor.count(Invariant::DegreeBound),
+            0,
+            "{}",
+            healed.monitor.report()
+        );
+        // Healing resolves desync (resync or evict); the control's is
+        // sticky and accumulates.
+        assert!(healed.stats.resyncs > 0, "retries must land sometimes");
+        assert!(control.desynced_len() > healed.desynced_len());
+        assert!(
+            !control.monitor.ok(),
+            "sticky desync plus corpses must break an invariant: {}",
+            control.monitor.report()
+        );
+    }
+}

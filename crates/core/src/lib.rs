@@ -16,10 +16,18 @@
 //!   Theorem 6).
 //! * [`churndos`] — the split/merge extension handling DoS attacks and
 //!   churn simultaneously (Section 6, Theorem 7).
+//!
+//! Beyond the paper, [`healing`] adds self-healing (heartbeat eviction,
+//! re-request with backoff, rejoin after crash-recovery) under the
+//! composite fault schedules of `overlay_adversary::faults`, and
+//! [`monitor`] provides the per-round invariant monitor the robustness
+//! harnesses report through.
 
 pub mod churndos;
 pub mod config;
 pub mod dos;
+pub mod healing;
 pub mod metrics;
+pub mod monitor;
 pub mod reconfig;
 pub mod sampling;

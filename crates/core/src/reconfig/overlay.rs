@@ -87,6 +87,32 @@ impl ExpanderOverlay {
         }
     }
 
+    /// Evict a member (self-healing graceful degradation): the node is
+    /// treated as a leaver and excluded at the next reconfiguration.
+    /// Idempotent per epoch — double evictions are collapsed.
+    pub fn evict(&mut self, v: NodeId) {
+        assert!(self.graph.contains(v), "evictee {v} is not a member");
+        if !self.pending_leaves.contains(&v) {
+            self.pending_leaves.push(v);
+        }
+    }
+
+    /// Re-admit a node after crash-recovery via the ordinary join path:
+    /// the smallest-id member that is not itself leaving acts as delegate,
+    /// and the join is integrated at the next reconfiguration.
+    pub fn rejoin(&mut self, v: NodeId) {
+        assert!(!self.graph.contains(v) || self.pending_leaves.contains(&v), "{v} is a member");
+        let delegate = self
+            .graph
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|u| !self.pending_leaves.contains(u) && *u != v)
+            .min()
+            .expect("overlay has staying members");
+        self.pending_joins.push((v, delegate));
+    }
+
     /// Run one reconfiguration epoch: the pending joins are integrated,
     /// pending leavers excluded, and the topology replaced by a fresh
     /// uniformly random H-graph. Returns the epoch metrics.

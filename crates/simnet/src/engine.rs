@@ -2,7 +2,7 @@
 
 use crate::accounting::{CommStats, WorkAccumulator};
 use crate::digest::{Digest, RoundDigest, RunManifest};
-use crate::fault::{delivered, BlockSet};
+use crate::fault::{delivered, BlockSet, FaultModel, LinkFate};
 use crate::message::{Envelope, Payload};
 use crate::protocol::{Ctx, Protocol};
 use crate::rng::{stream, NodeRng};
@@ -56,7 +56,11 @@ pub struct Network<P: Protocol> {
     free: Vec<usize>,
     index: HashMap<NodeId, usize>,
     in_flight: Vec<Envelope<P::Msg>>,
+    /// Messages held back by a link-delay fault, with the round they
+    /// mature. Always empty under the null fault model.
+    delayed: Vec<(u64, Envelope<P::Msg>)>,
     prev_blocked: BlockSet,
+    faults: FaultModel,
     acc: WorkAccumulator,
     stats: CommStats,
     trace: Trace,
@@ -75,7 +79,9 @@ impl<P: Protocol> Network<P> {
             free: Vec::new(),
             index: HashMap::new(),
             in_flight: Vec::new(),
+            delayed: Vec::new(),
             prev_blocked: BlockSet::none(),
+            faults: FaultModel::null(),
             acc: WorkAccumulator::default(),
             stats: CommStats::new(),
             trace: Trace::counters_only(),
@@ -101,6 +107,19 @@ impl<P: Protocol> Network<P> {
     /// everything else that defines the run.
     pub fn set_manifest(&mut self, config: impl Into<String>) {
         self.trace.set_manifest(RunManifest::new(self.master_seed, config));
+    }
+
+    /// Install a fault model on the delivery path, replacing the previous
+    /// one (the default is [`FaultModel::null`], which restores the exact
+    /// Section 1.1 semantics). Installing mid-run is allowed; scheduled
+    /// node faults are interpreted against the absolute round counter.
+    pub fn set_fault_model(&mut self, faults: FaultModel) {
+        self.faults = faults;
+    }
+
+    /// The installed fault model.
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.faults
     }
 
     /// Override how rounds choose between serial and parallel stepping.
@@ -218,6 +237,28 @@ impl<P: Protocol> Network<P> {
             d.write_u64(from).write_u64(to).write_u64(sent_round).write_u64(msg);
         }
 
+        // Delay-faulted messages are state too, but the section is written
+        // only when present so that runs under the null fault model hash
+        // exactly as they did before fault injection existed (golden digest
+        // streams stay byte-identical).
+        if !self.delayed.is_empty() {
+            let mut held: Vec<(u64, u64, u64, u64, u64)> = self
+                .delayed
+                .iter()
+                .map(|(due, env)| {
+                    let mut m = Digest::new();
+                    env.msg.digest(&mut m);
+                    (*due, env.from.raw(), env.to.raw(), env.sent_round, m.finish())
+                })
+                .collect();
+            held.sort_unstable();
+            d.write_u64(0xDE1A_FED0);
+            d.write_usize(held.len());
+            for (due, from, to, sent_round, msg) in held {
+                d.write_u64(due).write_u64(from).write_u64(to).write_u64(sent_round).write_u64(msg);
+            }
+        }
+
         d.finish()
     }
 
@@ -265,40 +306,54 @@ impl<P: Protocol> Network<P> {
     /// Execute one round with the given set of nodes blocked.
     ///
     /// Blocked nodes neither receive (their pending messages are dropped per
-    /// the model's delivery rule) nor execute `on_round` nor send.
+    /// the model's delivery rule) nor execute `on_round` nor send. Nodes
+    /// down under the installed [`FaultModel`] behave like blocked nodes;
+    /// surviving messages are additionally judged for link faults.
     pub fn step_blocked(&mut self, blocked: &BlockSet) {
         let round = self.round;
         self.acc.reset(self.slots.len());
 
-        // Step 1: deliver messages sent last round.
+        // Crash-recovery transitions: a node due back this round restarts
+        // with lost state — protocol reset hook, cleared inbox, and a fresh
+        // RNG incarnation (the pre-crash stream position is part of the
+        // state the crash destroys).
+        if !self.faults.is_null() {
+            for id in self.faults.recovering(round) {
+                if let Some(&idx) = self.index.get(&id) {
+                    let slot = self.slots[idx].as_mut().expect("occupied");
+                    slot.proto.on_crash_recover();
+                    slot.inbox.clear();
+                    slot.rng = stream(self.master_seed, id.raw(), (1 << 63) | round);
+                    self.trace.record(TraceEvent::NodeRecovered { round, node: id });
+                }
+            }
+        }
+        let downs =
+            if self.faults.is_null() { BlockSet::none() } else { self.faults.down_set(round) };
+
+        // Step 1: deliver. Messages held back by a delay fault that mature
+        // this round go first (their Section 1.1 check ran when the delay
+        // was drawn), then last round's sends under the full rule.
+        if !self.delayed.is_empty() {
+            let held = std::mem::take(&mut self.delayed);
+            let (due, still): (Vec<_>, Vec<_>) = held.into_iter().partition(|(d, _)| *d <= round);
+            self.delayed = still;
+            for (_, env) in due {
+                self.deliver_one(env, round, blocked, &downs, false);
+            }
+        }
         let in_flight = std::mem::take(&mut self.in_flight);
         for env in in_flight {
-            if !delivered(env.from, env.to, &self.prev_blocked, blocked) {
-                self.trace.record(TraceEvent::DroppedBlocked { round, from: env.from, to: env.to });
-                continue;
-            }
-            match self.index.get(&env.to) {
-                Some(&idx) => {
-                    self.acc.charge(idx, env.msg.size_bits());
-                    self.trace.record(TraceEvent::Delivered { round, from: env.from, to: env.to });
-                    self.slots[idx].as_mut().expect("occupied").inbox.push(env);
-                }
-                None => {
-                    self.trace.record(TraceEvent::DroppedMissing {
-                        round,
-                        from: env.from,
-                        to: env.to,
-                    });
-                }
-            }
+            self.deliver_one(env, round, blocked, &downs, true);
         }
 
         // Steps 2+3: local computation and sending, in parallel. Each node
         // only touches its own slot, so parallel execution is deterministic.
         let run = |slot: &mut Slot<P>| {
-            if blocked.contains(slot.id) {
-                // A blocked node cannot receive: discard anything routed to
-                // it (the delivery rule should already have prevented this).
+            if blocked.contains(slot.id) || downs.contains(slot.id) {
+                // A blocked or crashed node cannot receive: discard anything
+                // routed to it (the delivery rules should already have
+                // prevented this).
                 slot.inbox.clear();
                 return;
             }
@@ -339,6 +394,84 @@ impl<P: Protocol> Network<P> {
         if self.digests_enabled {
             let value = self.round_digest();
             self.trace.record_digest(RoundDigest { round, value });
+        }
+    }
+
+    /// Route one message through the delivery rules: the Section 1.1
+    /// blocking check, then node-fault and partition checks, then (for
+    /// `fresh` messages only) a link-fate draw. Matured delayed messages
+    /// are not `fresh`: they re-check just the receiver-side conditions and
+    /// are never delayed twice.
+    fn deliver_one(
+        &mut self,
+        env: Envelope<P::Msg>,
+        round: u64,
+        blocked: &BlockSet,
+        downs: &BlockSet,
+        fresh: bool,
+    ) {
+        let dos_ok = if fresh {
+            delivered(env.from, env.to, &self.prev_blocked, blocked)
+        } else {
+            !blocked.contains(env.to)
+        };
+        if !dos_ok {
+            self.trace.record(TraceEvent::DroppedBlocked { round, from: env.from, to: env.to });
+            return;
+        }
+        let mut duplicate = false;
+        if !self.faults.is_null() {
+            if downs.contains(env.to)
+                || self.faults.down(env.from, env.sent_round)
+                || self.faults.cut(env.from, env.to, round)
+            {
+                self.trace.record(TraceEvent::DroppedFault { round, from: env.from, to: env.to });
+                return;
+            }
+            if fresh {
+                match self.faults.link_fate() {
+                    LinkFate::Deliver => {}
+                    LinkFate::Drop => {
+                        self.trace.record(TraceEvent::DroppedLink {
+                            round,
+                            from: env.from,
+                            to: env.to,
+                        });
+                        return;
+                    }
+                    LinkFate::Duplicate => duplicate = true,
+                    LinkFate::Delay(extra) => {
+                        self.trace.record(TraceEvent::Delayed {
+                            round,
+                            from: env.from,
+                            to: env.to,
+                            until: round + extra,
+                        });
+                        self.delayed.push((round + extra, env));
+                        return;
+                    }
+                }
+            }
+        }
+        match self.index.get(&env.to) {
+            Some(&idx) => {
+                self.acc.charge(idx, env.msg.size_bits());
+                self.trace.record(TraceEvent::Delivered { round, from: env.from, to: env.to });
+                let extra_copy = duplicate.then(|| env.clone());
+                self.slots[idx].as_mut().expect("occupied").inbox.push(env);
+                if let Some(copy) = extra_copy {
+                    self.acc.charge(idx, copy.msg.size_bits());
+                    self.trace.record(TraceEvent::Duplicated {
+                        round,
+                        from: copy.from,
+                        to: copy.to,
+                    });
+                    self.slots[idx].as_mut().expect("occupied").inbox.push(copy);
+                }
+            }
+            None => {
+                self.trace.record(TraceEvent::DroppedMissing { round, from: env.from, to: env.to });
+            }
         }
     }
 
@@ -655,6 +788,163 @@ mod tests {
         let serial = run(ParMode::Serial);
         assert_eq!(run(ParMode::Parallel), serial);
         assert_eq!(run(ParMode::Auto), serial);
+    }
+
+    // -- fault model -------------------------------------------------------
+
+    use crate::fault::{LinkFaults, NodeFault, Partition};
+
+    #[test]
+    fn crashed_node_neither_acts_nor_receives() {
+        let mut net = ring(3, 40);
+        net.set_fault_model(
+            FaultModel::new(1).with_node_fault(NodeId(1), NodeFault::CrashStop { at: 0 }),
+        );
+        net.run(6);
+        // Node 0 fired at round 0; the token dies at the crashed node 1.
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 0);
+        assert_eq!(net.node(NodeId(2)).unwrap().received, 0);
+        assert!(net.trace().dropped_fault >= 1);
+    }
+
+    /// Counts rounds; forgets the count on crash-recovery.
+    struct Counter {
+        ticks: u64,
+    }
+
+    impl Protocol for Counter {
+        type Msg = ();
+
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>) {
+            self.ticks += 1;
+        }
+
+        fn on_crash_recover(&mut self) {
+            self.ticks = 0;
+        }
+    }
+
+    #[test]
+    fn crash_recovery_loses_state_and_resumes() {
+        let mut net: Network<Counter> = Network::new(50);
+        net.add_node(NodeId(0), Counter { ticks: 0 });
+        net.add_node(NodeId(1), Counter { ticks: 0 });
+        net.set_fault_model(
+            FaultModel::new(2)
+                .with_node_fault(NodeId(1), NodeFault::CrashRecover { at: 2, down_for: 3 }),
+        );
+        net.run(8);
+        assert_eq!(net.node(NodeId(0)).unwrap().ticks, 8, "healthy node unaffected");
+        // Node 1 ran rounds 0..2, was down 2..5, reset at 5, ran 5..8.
+        assert_eq!(net.node(NodeId(1)).unwrap().ticks, 3, "state lost at recovery");
+    }
+
+    #[test]
+    fn delayed_message_arrives_late_but_arrives() {
+        let mut net = ring(3, 41);
+        net.node_mut(NodeId(0)).unwrap().fire = false;
+        net.set_fault_model(FaultModel::new(3).with_link(LinkFaults {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 1.0,
+            max_delay: 3,
+        }));
+        net.inject(NodeId(0), NodeId(1), 7);
+        net.step();
+        assert_eq!(net.trace().delayed, 1);
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 0, "held back");
+        net.run(4);
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 1, "matured within max_delay");
+    }
+
+    #[test]
+    fn duplication_delivers_exactly_one_extra_copy() {
+        let mut net = ring(3, 42);
+        net.node_mut(NodeId(0)).unwrap().fire = false;
+        net.set_fault_model(FaultModel::new(4).with_link(LinkFaults {
+            drop_prob: 0.0,
+            dup_prob: 1.0,
+            delay_prob: 0.0,
+            max_delay: 0,
+        }));
+        net.inject(NodeId(9), NodeId(1), 7);
+        net.step();
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 2);
+        assert_eq!(net.trace().delivered, 1);
+        assert_eq!(net.trace().duplicated, 1);
+    }
+
+    #[test]
+    fn lossy_link_drops_messages() {
+        let mut net = ring(3, 45);
+        net.node_mut(NodeId(0)).unwrap().fire = false;
+        net.set_fault_model(FaultModel::new(6).with_link(LinkFaults {
+            drop_prob: 1.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 0,
+        }));
+        net.inject(NodeId(0), NodeId(1), 7);
+        net.step();
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 0);
+        assert_eq!(net.trace().dropped_link, 1);
+    }
+
+    #[test]
+    fn partition_window_cuts_cross_traffic_only() {
+        let mut net = ring(4, 43);
+        net.node_mut(NodeId(0)).unwrap().fire = false;
+        let side = [NodeId(0), NodeId(1)].into_iter().collect();
+        net.set_fault_model(FaultModel::new(5).with_partition(Partition {
+            side,
+            from: 0,
+            until: 1,
+        }));
+        net.inject(NodeId(0), NodeId(1), 1); // same side: delivered
+        net.inject(NodeId(0), NodeId(2), 2); // across the cut: dropped
+        net.step();
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 1);
+        assert_eq!(net.node(NodeId(2)).unwrap().received, 0);
+        assert_eq!(net.trace().dropped_fault, 1);
+        // Node 1 forwarded across the cut boundary; by round 1 the window
+        // is over and cross traffic flows again.
+        net.step();
+        assert_eq!(net.node(NodeId(2)).unwrap().received, 1);
+    }
+
+    #[test]
+    fn explicit_null_model_is_a_noop_for_digests() {
+        let digests = |install: bool| {
+            let mut net = ring(8, 44);
+            if install {
+                net.set_fault_model(FaultModel::null());
+            }
+            net.enable_digests();
+            net.run(10);
+            net.trace().digests().to_vec()
+        };
+        assert_eq!(digests(false), digests(true));
+    }
+
+    #[test]
+    fn faulty_runs_replay_identically() {
+        let run_once = || {
+            let mut net = ring(8, 46);
+            net.set_fault_model(
+                FaultModel::new(9)
+                    .with_link(LinkFaults {
+                        drop_prob: 0.2,
+                        dup_prob: 0.1,
+                        delay_prob: 0.2,
+                        max_delay: 3,
+                    })
+                    .with_node_fault(NodeId(3), NodeFault::CrashRecover { at: 2, down_for: 2 }),
+            );
+            net.enable_digests();
+            net.run(12);
+            net.trace().digests().to_vec()
+        };
+        assert_eq!(run_once(), run_once());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! DoS blocking semantics.
+//! DoS blocking semantics and the generalized fault model.
 //!
 //! An `r`-bounded adversary may block any `r`-fraction of the current nodes
 //! in a round. A blocked node can neither send nor receive in that round.
@@ -10,15 +10,31 @@
 //!
 //! If so, `w` is called *available* in round `i + 1`. The engine consults a
 //! [`BlockSet`] per round and applies exactly this rule.
+//!
+//! Beyond the paper's model, a [`FaultModel`] composes the blocking rule
+//! with *link faults* (probabilistic message drop, duplication and bounded
+//! extra delay) and *node faults* (crash-stop, crash-recovery with state
+//! loss, and a network partition window). All fault randomness derives from
+//! a dedicated seed-keyed stream and messages are judged in the engine's
+//! canonical delivery order, so faulty runs replay bit-for-bit. The
+//! [`FaultModel::null`] model draws nothing and changes nothing: under it
+//! the engine behaves exactly as the Section 1.1 delivery rule prescribes,
+//! digest streams included.
 
+use crate::rng::{stream, NodeRng};
 use crate::NodeId;
+use rand::RngExt;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The set of nodes blocked in a given round.
+///
+/// Backed by a `BTreeSet` so iteration order is deterministic: block sets
+/// feed RNG draws and digests downstream, where arbitrary order would break
+/// replay identity.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlockSet {
-    blocked: HashSet<NodeId>,
+    blocked: BTreeSet<NodeId>,
 }
 
 impl BlockSet {
@@ -55,7 +71,7 @@ impl BlockSet {
         self.blocked.insert(node);
     }
 
-    /// Iterate over blocked nodes (arbitrary order).
+    /// Iterate over blocked nodes in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.blocked.iter().copied()
     }
@@ -69,9 +85,14 @@ impl BlockSet {
         }
     }
 
-    /// Check the adversary's budget: at most `r * n` nodes blocked.
+    /// Check the adversary's budget: at most `floor(r * n)` nodes blocked.
+    ///
+    /// The bound is exact in the integers — an `r`-bounded adversary may
+    /// block an `r`-fraction of the nodes, and a fraction of nodes is a
+    /// whole number — matching the `floor` budget [`crate::NodeId`]-level
+    /// adversaries actually spend.
     pub fn within_bound(&self, r: f64, n: usize) -> bool {
-        (self.blocked.len() as f64) <= r * n as f64 + 1e-9
+        self.blocked.len() <= (r * n as f64).floor() as usize
     }
 }
 
@@ -95,6 +116,233 @@ pub fn delivered(
     !blocked_at_send.contains(from)
         && !blocked_at_send.contains(to)
         && !blocked_at_recv.contains(to)
+}
+
+// ---------------------------------------------------------------------------
+// Generalized fault model (beyond the paper's Section 1.1)
+// ---------------------------------------------------------------------------
+
+/// Probabilistic link faults applied to every message that survives the
+/// Section 1.1 delivery rule and the node-fault checks.
+///
+/// Fates are mutually exclusive and judged in priority order
+/// drop > duplicate > delay, with exactly one uniform draw per configured
+/// fate so the draw sequence is a pure function of the delivery order.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaults {
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice in the same round.
+    pub dup_prob: f64,
+    /// Probability a message is held back for extra rounds.
+    pub delay_prob: f64,
+    /// Maximum extra delay in rounds; actual delays are uniform in
+    /// `1..=max_delay`. Ignored when `delay_prob` is zero.
+    pub max_delay: u64,
+}
+
+impl LinkFaults {
+    /// A perfectly reliable link.
+    pub const NONE: Self = Self { drop_prob: 0.0, dup_prob: 0.0, delay_prob: 0.0, max_delay: 0 };
+
+    /// True if this configuration can never alter a delivery.
+    pub fn is_null(&self) -> bool {
+        self.drop_prob <= 0.0 && self.dup_prob <= 0.0 && self.delay_prob <= 0.0
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+/// A scheduled node fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeFault {
+    /// The node halts permanently at the start of round `at`.
+    CrashStop { at: u64 },
+    /// The node halts at round `at` and comes back `down_for` rounds later
+    /// with total state loss: the engine clears its inbox, re-keys its RNG
+    /// stream and calls [`crate::Protocol::on_crash_recover`].
+    CrashRecover { at: u64, down_for: u64 },
+}
+
+impl NodeFault {
+    /// Is a node with this fault down (neither sending nor receiving nor
+    /// computing) in `round`?
+    pub fn down_at(&self, round: u64) -> bool {
+        match *self {
+            NodeFault::CrashStop { at } => round >= at,
+            NodeFault::CrashRecover { at, down_for } => round >= at && round < at + down_for,
+        }
+    }
+
+    /// The round in which the node comes back, if it ever does.
+    pub fn recovery_round(&self) -> Option<u64> {
+        match *self {
+            NodeFault::CrashStop { .. } => None,
+            NodeFault::CrashRecover { at, down_for } => Some(at + down_for),
+        }
+    }
+}
+
+/// A network partition: during rounds `from..until`, no message crosses
+/// between `side` and its complement. Traffic within either side is
+/// unaffected.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// One side of the cut (the complement is everything else).
+    pub side: BTreeSet<NodeId>,
+    /// First partitioned round (inclusive).
+    pub from: u64,
+    /// First healed round (exclusive end of the window).
+    pub until: u64,
+}
+
+impl Partition {
+    /// Does the partition cut the edge `a -- b` in `round`?
+    pub fn cuts(&self, a: NodeId, b: NodeId, round: u64) -> bool {
+        round >= self.from && round < self.until && self.side.contains(&a) != self.side.contains(&b)
+    }
+}
+
+/// The fate of one message under [`LinkFaults`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Delivered normally.
+    Deliver,
+    /// Silently dropped.
+    Drop,
+    /// Delivered twice this round.
+    Duplicate,
+    /// Held back; delivered the given number of rounds late.
+    Delay(u64),
+}
+
+/// A composed fault model interposed on the engine's delivery path.
+///
+/// The model sits *behind* the Section 1.1 blocking rule: a message first
+/// has to survive the [`BlockSet`] check, then the node-fault and partition
+/// checks, and only then is its link fate drawn. All draws come from one
+/// ChaCha stream keyed by `(seed, FAULT_STREAM, FAULT_PURPOSE)` and happen
+/// in the engine's canonical delivery order, so a faulty run replays
+/// identically from its seed. [`FaultModel::null`] (the engine default)
+/// short-circuits every check and draws nothing.
+#[derive(Clone, Debug)]
+pub struct FaultModel {
+    link: LinkFaults,
+    node_faults: BTreeMap<NodeId, NodeFault>,
+    partition: Option<Partition>,
+    rng: NodeRng,
+}
+
+/// Pseudo-node id keying the fault model's RNG stream (distinct from any
+/// real node and from the fuzzer's plan stream).
+const FAULT_STREAM: u64 = u64::MAX - 2;
+/// Purpose tag of the fault model's RNG stream.
+const FAULT_PURPOSE: u64 = 0xFA_017;
+
+impl FaultModel {
+    /// The identity model: no link faults, no node faults, no partition.
+    pub fn null() -> Self {
+        Self::new(0)
+    }
+
+    /// An empty model drawing its link-fault randomness from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            link: LinkFaults::NONE,
+            node_faults: BTreeMap::new(),
+            partition: None,
+            rng: stream(seed, FAULT_STREAM, FAULT_PURPOSE),
+        }
+    }
+
+    /// Set the link-fault configuration.
+    pub fn with_link(mut self, link: LinkFaults) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Schedule a node fault. At most one fault per node; a second call for
+    /// the same node replaces the first.
+    pub fn with_node_fault(mut self, node: NodeId, fault: NodeFault) -> Self {
+        self.node_faults.insert(node, fault);
+        self
+    }
+
+    /// Install a partition window.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// True if the model can never alter a run: the engine skips all fault
+    /// processing, preserving the exact Section 1.1 semantics (and digest
+    /// streams) of a model-free run.
+    pub fn is_null(&self) -> bool {
+        self.link.is_null() && self.node_faults.is_empty() && self.partition.is_none()
+    }
+
+    /// The link-fault configuration.
+    pub fn link(&self) -> &LinkFaults {
+        &self.link
+    }
+
+    /// The scheduled node faults.
+    pub fn node_faults(&self) -> &BTreeMap<NodeId, NodeFault> {
+        &self.node_faults
+    }
+
+    /// Is `node` down (crashed and not yet recovered) in `round`?
+    pub fn down(&self, node: NodeId, round: u64) -> bool {
+        self.node_faults.get(&node).is_some_and(|f| f.down_at(round))
+    }
+
+    /// All nodes down in `round`, as a block-set the engine composes with
+    /// the adversary's.
+    pub fn down_set(&self, round: u64) -> BlockSet {
+        self.node_faults.iter().filter(|(_, f)| f.down_at(round)).map(|(&v, _)| v).collect()
+    }
+
+    /// Nodes whose crash-recovery completes at the start of `round`, in id
+    /// order.
+    pub fn recovering(&self, round: u64) -> Vec<NodeId> {
+        self.node_faults
+            .iter()
+            .filter(|(_, f)| f.recovery_round() == Some(round))
+            .map(|(&v, _)| v)
+            .collect()
+    }
+
+    /// Does the partition cut `from -> to` in `round`?
+    pub fn cut(&self, from: NodeId, to: NodeId, round: u64) -> bool {
+        self.partition.as_ref().is_some_and(|p| p.cuts(from, to, round))
+    }
+
+    /// Judge the link fate of one message that passed all other checks.
+    /// Draws exactly one uniform per configured fate (in drop, duplicate,
+    /// delay order) plus one for the delay length, so the stream position
+    /// is a pure function of the judged-message sequence.
+    pub fn link_fate(&mut self) -> LinkFate {
+        if self.link.is_null() {
+            return LinkFate::Deliver;
+        }
+        if self.link.drop_prob > 0.0 && self.rng.random::<f64>() < self.link.drop_prob {
+            return LinkFate::Drop;
+        }
+        if self.link.dup_prob > 0.0 && self.rng.random::<f64>() < self.link.dup_prob {
+            return LinkFate::Duplicate;
+        }
+        if self.link.delay_prob > 0.0
+            && self.link.max_delay > 0
+            && self.rng.random::<f64>() < self.link.delay_prob
+        {
+            return LinkFate::Delay(self.rng.random_range(1..=self.link.max_delay));
+        }
+        LinkFate::Deliver
+    }
 }
 
 #[cfg(test)]
@@ -198,11 +446,140 @@ mod tests {
     }
 
     #[test]
+    fn bound_is_exact_at_the_boundary() {
+        // Exactly floor(r * n) blocked nodes is legal; one more is not.
+        // r = 0.3, n = 10: budget is exactly 3.
+        assert!(bs(&[1, 2, 3]).within_bound(0.3, 10));
+        assert!(!bs(&[1, 2, 3, 4]).within_bound(0.3, 10));
+        // r = 0.5, n = 7: budget is floor(3.5) = 3.
+        assert!(bs(&[1, 2, 3]).within_bound(0.5, 7));
+        assert!(!bs(&[1, 2, 3, 4]).within_bound(0.5, 7));
+        // A zero bound admits only the empty set.
+        assert!(BlockSet::none().within_bound(0.0, 10));
+        assert!(!bs(&[1]).within_bound(0.0, 10));
+        // Float grime like 0.1 * 3 = 0.30000000000000004 must not leak an
+        // extra unit of budget.
+        assert!(!bs(&[1]).within_bound(0.1, 3));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let set = bs(&[9, 2, 7, 4]);
+        let order: Vec<u64> = set.iter().map(|v| v.raw()).collect();
+        assert_eq!(order, vec![2, 4, 7, 9]);
+    }
+
+    #[test]
     fn insert_and_iter() {
         let mut set = BlockSet::none();
         assert!(set.is_empty());
         set.insert(NodeId(9));
         assert!(set.contains(NodeId(9)));
         assert_eq!(set.iter().count(), 1);
+    }
+
+    // -- FaultModel ---------------------------------------------------------
+
+    #[test]
+    fn null_model_is_null_and_draws_nothing() {
+        let mut m = FaultModel::null();
+        assert!(m.is_null());
+        let before = m.rng.get_word_pos();
+        for _ in 0..10 {
+            assert_eq!(m.link_fate(), LinkFate::Deliver);
+        }
+        assert_eq!(m.rng.get_word_pos(), before, "null model must not consume randomness");
+        assert!(m.down_set(5).is_empty());
+        assert!(!m.cut(NodeId(1), NodeId(2), 5));
+    }
+
+    #[test]
+    fn crash_stop_is_forever_crash_recover_is_a_window() {
+        let stop = NodeFault::CrashStop { at: 3 };
+        assert!(!stop.down_at(2));
+        assert!(stop.down_at(3));
+        assert!(stop.down_at(1_000_000));
+        assert_eq!(stop.recovery_round(), None);
+
+        let rec = NodeFault::CrashRecover { at: 3, down_for: 4 };
+        assert!(!rec.down_at(2));
+        assert!(rec.down_at(3));
+        assert!(rec.down_at(6));
+        assert!(!rec.down_at(7));
+        assert_eq!(rec.recovery_round(), Some(7));
+    }
+
+    #[test]
+    fn down_set_and_recovering_follow_the_schedule() {
+        let m = FaultModel::new(1)
+            .with_node_fault(NodeId(1), NodeFault::CrashStop { at: 2 })
+            .with_node_fault(NodeId(2), NodeFault::CrashRecover { at: 1, down_for: 3 });
+        assert!(!m.is_null());
+        assert_eq!(m.down_set(0).len(), 0);
+        assert_eq!(m.down_set(1).len(), 1);
+        assert_eq!(m.down_set(2).len(), 2);
+        assert_eq!(m.down_set(4).len(), 1, "node 2 recovered at round 4");
+        assert_eq!(m.recovering(4), vec![NodeId(2)]);
+        assert!(m.recovering(3).is_empty());
+    }
+
+    #[test]
+    fn partition_cuts_only_across_and_only_in_window() {
+        let p = Partition { side: [NodeId(1), NodeId(2)].into_iter().collect(), from: 5, until: 8 };
+        let m = FaultModel::new(2).with_partition(p);
+        // Across the cut, inside the window.
+        assert!(m.cut(NodeId(1), NodeId(3), 5));
+        assert!(m.cut(NodeId(3), NodeId(1), 7));
+        // Within a side.
+        assert!(!m.cut(NodeId(1), NodeId(2), 6));
+        assert!(!m.cut(NodeId(3), NodeId(4), 6));
+        // Outside the window.
+        assert!(!m.cut(NodeId(1), NodeId(3), 4));
+        assert!(!m.cut(NodeId(1), NodeId(3), 8));
+    }
+
+    #[test]
+    fn link_fates_are_deterministic_in_the_seed() {
+        let fates = |seed: u64| {
+            let mut m = FaultModel::new(seed).with_link(LinkFaults {
+                drop_prob: 0.3,
+                dup_prob: 0.2,
+                delay_prob: 0.2,
+                max_delay: 4,
+            });
+            (0..64).map(|_| m.link_fate()).collect::<Vec<_>>()
+        };
+        assert_eq!(fates(7), fates(7));
+        assert_ne!(fates(7), fates(8));
+    }
+
+    #[test]
+    fn extreme_probabilities_force_fates() {
+        let mut all_drop = FaultModel::new(1).with_link(LinkFaults {
+            drop_prob: 1.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 0,
+        });
+        let mut all_dup = FaultModel::new(1).with_link(LinkFaults {
+            drop_prob: 0.0,
+            dup_prob: 1.0,
+            delay_prob: 0.0,
+            max_delay: 0,
+        });
+        let mut all_delay = FaultModel::new(1).with_link(LinkFaults {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 1.0,
+            max_delay: 3,
+        });
+        for _ in 0..16 {
+            assert_eq!(all_drop.link_fate(), LinkFate::Drop);
+            assert_eq!(all_dup.link_fate(), LinkFate::Duplicate);
+            match all_delay.link_fate() {
+                LinkFate::Delay(k) => assert!((1..=3).contains(&k)),
+                other => panic!("expected a delay, got {other:?}"),
+            }
+        }
     }
 }

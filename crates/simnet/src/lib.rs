@@ -15,6 +15,11 @@
 //!   by `w` only if `v` is non-blocked in round `i` and `w` is non-blocked
 //!   in rounds `i` *and* `i + 1` (in which case `w` is called *available*
 //!   in round `i + 1`). [`fault`] implements exactly this rule.
+//! * Beyond the paper's model, an optional [`fault::FaultModel`] composes
+//!   the blocking rule with link faults (probabilistic drop, duplication,
+//!   bounded delay) and node faults (crash-stop, crash-recovery with state
+//!   loss, partitions) — seed-derived and replay-deterministic. The default
+//!   null model changes nothing.
 //! * Nodes are identified by opaque [`NodeId`]s of `O(log n)` bits; knowing
 //!   an id is what permits sending to it (this is an *overlay* model — any
 //!   node may message any other node whose id it holds).
@@ -71,7 +76,7 @@ pub mod trace;
 pub use accounting::{CommStats, RoundWork};
 pub use digest::{Digest, RoundDigest, RunManifest};
 pub use engine::{Network, ParMode, PAR_THRESHOLD};
-pub use fault::BlockSet;
+pub use fault::{BlockSet, FaultModel, LinkFate, LinkFaults, NodeFault, Partition};
 pub use id::NodeId;
 pub use message::{Envelope, Payload};
 pub use protocol::{Ctx, Protocol};

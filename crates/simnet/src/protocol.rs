@@ -32,6 +32,15 @@ pub trait Protocol: Send {
     fn digest(&self, digest: &mut Digest) {
         let _ = digest;
     }
+
+    /// Called when the node completes a crash-recovery fault with state
+    /// loss (see [`crate::fault::NodeFault::CrashRecover`]).
+    ///
+    /// Protocols model the loss by resetting their fields here; the default
+    /// keeps the state unchanged, which models a node whose protocol state
+    /// survives on durable storage. The engine separately clears the inbox
+    /// and re-keys the node's RNG stream in either case.
+    fn on_crash_recover(&mut self) {}
 }
 
 /// Per-round execution context handed to [`Protocol::on_round`].

@@ -14,10 +14,22 @@ pub enum TraceEvent {
     DroppedBlocked { round: u64, from: NodeId, to: NodeId },
     /// A message was addressed to a node no longer (or not yet) present.
     DroppedMissing { round: u64, from: NodeId, to: NodeId },
+    /// A message was dropped by a node fault or partition of the installed
+    /// [`crate::fault::FaultModel`].
+    DroppedFault { round: u64, from: NodeId, to: NodeId },
+    /// A message was dropped by a probabilistic link fault.
+    DroppedLink { round: u64, from: NodeId, to: NodeId },
+    /// A link fault delivered an extra copy of a message (the original is
+    /// traced as [`TraceEvent::Delivered`]).
+    Duplicated { round: u64, from: NodeId, to: NodeId },
+    /// A link fault held a message back until round `until`.
+    Delayed { round: u64, from: NodeId, to: NodeId, until: u64 },
     /// A node joined the simulation.
     NodeAdded { round: u64, node: NodeId },
     /// A node left the simulation.
     NodeRemoved { round: u64, node: NodeId },
+    /// A node completed crash-recovery with state loss.
+    NodeRecovered { round: u64, node: NodeId },
 }
 
 /// Bounded event log. Disabled by default; when enabled it records up to
@@ -38,6 +50,17 @@ pub struct Trace {
     pub dropped_missing: u64,
     /// Total delivered messages (counted even when disabled).
     pub delivered: u64,
+    /// Total messages dropped by node faults or partitions (counted even
+    /// when disabled).
+    pub dropped_fault: u64,
+    /// Total messages dropped by link faults (counted even when disabled).
+    pub dropped_link: u64,
+    /// Total *extra* copies delivered by duplication faults (counted even
+    /// when disabled; originals count under `delivered`).
+    pub duplicated: u64,
+    /// Total messages held back by delay faults (counted even when
+    /// disabled; each is classified again at maturity).
+    pub delayed: u64,
 }
 
 impl Trace {
@@ -63,6 +86,10 @@ impl Trace {
             TraceEvent::Delivered { .. } => self.delivered += 1,
             TraceEvent::DroppedBlocked { .. } => self.dropped_blocked += 1,
             TraceEvent::DroppedMissing { .. } => self.dropped_missing += 1,
+            TraceEvent::DroppedFault { .. } => self.dropped_fault += 1,
+            TraceEvent::DroppedLink { .. } => self.dropped_link += 1,
+            TraceEvent::Duplicated { .. } => self.duplicated += 1,
+            TraceEvent::Delayed { .. } => self.delayed += 1,
             _ => {}
         }
         if self.enabled {
@@ -107,6 +134,10 @@ impl Trace {
         self.dropped_blocked = 0;
         self.dropped_missing = 0;
         self.delivered = 0;
+        self.dropped_fault = 0;
+        self.dropped_link = 0;
+        self.duplicated = 0;
+        self.delayed = 0;
     }
 }
 

@@ -30,6 +30,7 @@ golden:
     UPDATE_GOLDEN=1 cargo test -q -p integration-tests --test determinism
     git diff --stat tests/golden/
 
-# Fault-schedule fuzzing; override cases with `just fuzz 500`.
+# Fault-schedule fuzzing; override cases with `just fuzz 500` (nightly depth).
 fuzz cases="100":
     FUZZ_CASES={{cases}} cargo test -q -p integration-tests --test fault_fuzz
+    FUZZ_CASES={{cases}} cargo test -q -p integration-tests --test fault_injection

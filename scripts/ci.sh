@@ -28,7 +28,13 @@ cargo test --workspace -q
 echo "==> determinism harness"
 cargo test -q -p integration-tests --test determinism
 
+echo "==> golden digests unchanged"
+git diff --exit-code -- tests/golden/
+
 echo "==> fault-schedule fuzzing (FUZZ_CASES=${FUZZ_CASES:-100})"
 FUZZ_CASES="${FUZZ_CASES:-100}" cargo test -q -p integration-tests --test fault_fuzz
+
+echo "==> fault-injection + self-healing sweep (FUZZ_CASES=${FUZZ_CASES:-100})"
+FUZZ_CASES="${FUZZ_CASES:-100}" cargo test -q -p integration-tests --test fault_injection
 
 echo "CI gate passed."
