@@ -1,0 +1,660 @@
+//! Adaptive red-team adversaries.
+//!
+//! The oblivious adversaries of [`crate::dos`] fix a strategy up front and
+//! draw from their own randomness; the *adaptive* adversaries here react
+//! round by round to what the overlay actually looks like — still under
+//! the paper's information rule (topology only, at least `t` rounds late)
+//! and budget rule (at most an `r`-fraction of current nodes blocked per
+//! round). Strategies implement [`simnet::AdaptiveAdversary`]; the
+//! [`AdaptiveHarness`] mediates between them and the runner, enforcing
+//! lateness through a [`ViewBuffer`] and clamping over-budget answers so a
+//! strategy can never exceed the model's power.
+//!
+//! The suite:
+//!
+//! * [`MinCutAttack`] — computes a sparsest vertex cut of the (stale) view
+//!   and silences the separator, disconnecting the cheapest region it can
+//!   find. On group-structured overlays the node graph is implied by the
+//!   groups (intra-group cliques, inter-group complete bipartite), which
+//!   makes the separator "every member of the victim group's neighbor
+//!   groups" — the strongest structural attack on Sections 5/6.
+//! * [`HighDegreeAttack`] — silences hubs: highest-degree nodes first,
+//!   with group leaders (each group's smallest id, the introducer in our
+//!   join construction) promoted ahead of ordinary members.
+//! * [`OscillatingPartition`] — alternates between blocking the lower and
+//!   upper half of the id space every `period` rounds, forcing the healing
+//!   layer to chase a moving target and re-admit each side repeatedly.
+//! * [`FollowTheHealer`] — re-blocks nodes right after they rejoin: the
+//!   view marks nodes that reappeared, the strategy keeps a recency queue
+//!   and spends its budget on the most recently healed first, starving the
+//!   heal path's progress.
+//!
+//! [`Attacker`] abstracts "observe a snapshot, emit a block set" so
+//! runners drive oblivious [`DosAdversary`]s, adaptive harnesses and
+//! recorded [`crate::shrink::ReplayAdversary`] traces interchangeably.
+
+use crate::dos::DosAdversary;
+use crate::lateness::TopologySnapshot;
+use overlay_graphs::{sparsest_vertex_cut, Adjacency};
+use simnet::observer::{AdaptiveAdversary, ObserverView, ViewBuffer};
+use simnet::{BlockSet, NodeId};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Round-stepped adversary interface: the runner shows the adversary the
+/// current topology every round (lateness is the adversary's own
+/// responsibility) and asks for the round's block set.
+pub trait Attacker {
+    /// Record the current topology; called every round before [`block`].
+    ///
+    /// [`block`]: Attacker::block
+    fn observe(&mut self, snap: TopologySnapshot);
+    /// The nodes to block this round; `n_current` defines the budget.
+    fn block(&mut self, round: u64, n_current: usize) -> BlockSet;
+    /// Human-readable label for experiment tables and repro files.
+    fn label(&self) -> String;
+}
+
+impl<A: Attacker + ?Sized> Attacker for Box<A> {
+    fn observe(&mut self, snap: TopologySnapshot) {
+        (**self).observe(snap);
+    }
+    fn block(&mut self, round: u64, n_current: usize) -> BlockSet {
+        (**self).block(round, n_current)
+    }
+    fn label(&self) -> String {
+        (**self).label()
+    }
+}
+
+impl Attacker for DosAdversary {
+    fn observe(&mut self, snap: TopologySnapshot) {
+        DosAdversary::observe(self, snap);
+    }
+    fn block(&mut self, round: u64, n_current: usize) -> BlockSet {
+        DosAdversary::block(self, round, n_current)
+    }
+    fn label(&self) -> String {
+        format!("oblivious:{:?}", self.strategy())
+    }
+}
+
+/// Node-level adjacency of a view. Group-structured overlays publish no
+/// node edges (the topology is implied: each group is a clique, adjacent
+/// groups are completely connected), so the implied edges are
+/// materialized here for the graph algorithms.
+fn view_adjacency(view: &ObserverView) -> Adjacency {
+    if !view.edges.is_empty() || view.groups.is_empty() {
+        return Adjacency::from_edges(&view.nodes, &view.edges);
+    }
+    let member: BTreeSet<NodeId> = view.nodes.iter().copied().collect();
+    let mut edges = Vec::new();
+    for grp in &view.groups {
+        for (i, &a) in grp.iter().enumerate() {
+            for &b in &grp[i + 1..] {
+                if member.contains(&a) && member.contains(&b) {
+                    edges.push((a, b));
+                }
+            }
+        }
+    }
+    for &(gi, gj) in &view.group_edges {
+        for &a in &view.groups[gi] {
+            for &b in &view.groups[gj] {
+                if member.contains(&a) && member.contains(&b) {
+                    edges.push((a, b));
+                }
+            }
+        }
+    }
+    Adjacency::from_edges(&view.nodes, &edges)
+}
+
+/// Fill `out` up to `budget` with the lowest-degree members not yet
+/// picked (cheap victims make the leftover budget count).
+fn fill_low_degree(out: &mut BTreeSet<NodeId>, view: &ObserverView, budget: usize) {
+    if out.len() >= budget {
+        return;
+    }
+    let deg = view.degrees();
+    let mut rest: Vec<NodeId> = view.nodes.iter().copied().filter(|v| !out.contains(v)).collect();
+    rest.sort_by_key(|v| (deg.get(v).copied().unwrap_or(0), v.raw()));
+    for v in rest {
+        if out.len() >= budget {
+            break;
+        }
+        out.insert(v);
+    }
+}
+
+/// FNV-1a over everything the min-cut answer depends on. The topology
+/// only changes at reconfiguration boundaries, so hashing the view is
+/// how [`MinCutAttack`] avoids re-running the cut search every round.
+fn topology_fingerprint(view: &ObserverView, budget: usize) -> u64 {
+    fn eat(h: &mut u64, x: u64) {
+        *h ^= x;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    eat(&mut h, budget as u64);
+    eat(&mut h, view.nodes.len() as u64);
+    for v in &view.nodes {
+        eat(&mut h, v.raw());
+    }
+    for &(a, b) in &view.edges {
+        eat(&mut h, a.raw());
+        eat(&mut h, b.raw());
+    }
+    for g in &view.groups {
+        eat(&mut h, u64::MAX);
+        for v in g {
+            eat(&mut h, v.raw());
+        }
+    }
+    for &(a, b) in &view.group_edges {
+        eat(&mut h, a as u64);
+        eat(&mut h, b as u64);
+    }
+    h
+}
+
+/// Lightest member-weighted group separator of the implied group graph:
+/// a set of groups whose members, all silenced, leave the alive
+/// supernodes disconnected. Greedy region growth from every group as a
+/// seed, absorbing the heaviest boundary group each step, keeping the
+/// lightest vertex boundary that fits the budget. Group counts are tiny
+/// (`2^d <= n / (c log n)`), so this is cheap where the node-level cut
+/// search on the implied clique graph is not.
+fn group_separator(view: &ObserverView, budget: usize) -> Option<Vec<NodeId>> {
+    let g = view.groups.len();
+    let member: BTreeSet<NodeId> = view.nodes.iter().copied().collect();
+    let live: Vec<Vec<NodeId>> = view
+        .groups
+        .iter()
+        .map(|grp| grp.iter().copied().filter(|v| member.contains(v)).collect())
+        .collect();
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); g];
+    for &(a, b) in &view.group_edges {
+        if a < g && b < g && a != b {
+            adj[a].insert(b);
+            adj[b].insert(a);
+        }
+    }
+    let mut best: Option<(usize, BTreeSet<usize>)> = None;
+    for seed in 0..g {
+        let mut region: BTreeSet<usize> = std::iter::once(seed).collect();
+        loop {
+            let boundary: BTreeSet<usize> = region
+                .iter()
+                .flat_map(|&x| adj[x].iter().copied())
+                .filter(|y| !region.contains(y))
+                .collect();
+            // A boundary only separates if something is left outside it.
+            if boundary.is_empty() || region.len() + boundary.len() >= g {
+                break;
+            }
+            let weight: usize = boundary.iter().map(|&y| live[y].len()).sum();
+            if weight <= budget && best.as_ref().is_none_or(|(w, _)| weight < *w) {
+                best = Some((weight, boundary.clone()));
+            }
+            if region.len() >= g / 2 {
+                break;
+            }
+            // Absorb the heaviest boundary group: its expensive members
+            // move from the separator into the region.
+            let &grow =
+                boundary.iter().max_by_key(|&&y| (live[y].len(), y)).expect("boundary is nonempty");
+            region.insert(grow);
+        }
+    }
+    best.map(|(_, sep)| sep.iter().flat_map(|&y| live[y].iter().copied()).collect())
+}
+
+/// Block a sparsest vertex cut of the stale view.
+///
+/// Group-structured views get a member-weighted separator over the group
+/// graph (supernode connectivity is what the overlay's own connectivity
+/// predicate measures, and a supernode stays alive while any member is
+/// unblocked — so only whole-group silencing cuts anything); explicit-edge
+/// views get the node-level [`sparsest_vertex_cut`]. Either way the answer
+/// is cached against a topology fingerprint, so the search reruns only
+/// when the view actually changes (once per reconfiguration, not once per
+/// round).
+#[derive(Clone, Debug, Default)]
+pub struct MinCutAttack {
+    cache: Option<(u64, BlockSet)>,
+}
+
+impl AdaptiveAdversary for MinCutAttack {
+    fn name(&self) -> &'static str {
+        "adaptive:min-cut"
+    }
+
+    fn pick(&mut self, view: &ObserverView, budget: usize) -> BlockSet {
+        let fp = topology_fingerprint(view, budget);
+        if let Some((cached, picks)) = &self.cache {
+            if *cached == fp {
+                return picks.clone();
+            }
+        }
+        let mut out = BTreeSet::new();
+        if view.edges.is_empty() && !view.groups.is_empty() {
+            if let Some(sep) = group_separator(view, budget) {
+                out.extend(sep);
+            }
+        } else {
+            let adj = view_adjacency(view);
+            if let Some(cut) = sparsest_vertex_cut(&adj, budget) {
+                out.extend(cut.separator);
+            }
+        }
+        fill_low_degree(&mut out, view, budget);
+        let picks = BlockSet::from_iter(out);
+        self.cache = Some((fp, picks.clone()));
+        picks
+    }
+}
+
+/// Block the highest-degree nodes, group leaders first.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HighDegreeAttack;
+
+impl AdaptiveAdversary for HighDegreeAttack {
+    fn name(&self) -> &'static str {
+        "adaptive:high-degree"
+    }
+
+    fn pick(&mut self, view: &ObserverView, budget: usize) -> BlockSet {
+        let deg = view.degrees();
+        // A group's smallest id acts as its introducer/leader in the join
+        // construction; silencing leaders hits the most join paths.
+        let leaders: BTreeSet<NodeId> =
+            view.groups.iter().filter_map(|g| g.iter().min().copied()).collect();
+        let mut order: Vec<NodeId> = view.nodes.clone();
+        let n = view.nodes.len();
+        order.sort_by_key(|v| {
+            let score = deg.get(v).copied().unwrap_or(0) + if leaders.contains(v) { n } else { 0 };
+            (std::cmp::Reverse(score), v.raw())
+        });
+        order.truncate(budget);
+        BlockSet::from_iter(order)
+    }
+}
+
+/// Alternately block the lower and upper half of the id space.
+#[derive(Clone, Copy, Debug)]
+pub struct OscillatingPartition {
+    /// Rounds between side switches.
+    pub period: u64,
+}
+
+impl Default for OscillatingPartition {
+    fn default() -> Self {
+        Self { period: 4 }
+    }
+}
+
+impl AdaptiveAdversary for OscillatingPartition {
+    fn name(&self) -> &'static str {
+        "adaptive:oscillate"
+    }
+
+    fn pick(&mut self, view: &ObserverView, budget: usize) -> BlockSet {
+        let period = self.period.max(1);
+        let lower = (view.round / period) % 2 == 0;
+        let half = view.nodes.len() / 2;
+        let side: &[NodeId] = if lower { &view.nodes[..half] } else { &view.nodes[half..] };
+        // Budget goes to the chosen side's border with the other half:
+        // nodes nearest the split point churn in and out of the block set
+        // as the sides alternate.
+        let mut picks: Vec<NodeId> = side.to_vec();
+        if lower {
+            picks.reverse();
+        }
+        picks.truncate(budget);
+        BlockSet::from_iter(picks)
+    }
+}
+
+/// Re-block nodes immediately after the healing layer re-admits them.
+#[derive(Clone, Debug)]
+pub struct FollowTheHealer {
+    /// Recently rejoined nodes, most recent first.
+    recent: VecDeque<NodeId>,
+    cap: usize,
+}
+
+impl Default for FollowTheHealer {
+    fn default() -> Self {
+        Self { recent: VecDeque::new(), cap: 256 }
+    }
+}
+
+impl AdaptiveAdversary for FollowTheHealer {
+    fn name(&self) -> &'static str {
+        "adaptive:follow-healer"
+    }
+
+    fn pick(&mut self, view: &ObserverView, budget: usize) -> BlockSet {
+        for &v in view.rejoined.iter().rev() {
+            self.recent.retain(|&w| w != v);
+            self.recent.push_front(v);
+        }
+        self.recent.truncate(self.cap);
+        let members: BTreeSet<NodeId> = view.nodes.iter().copied().collect();
+        let mut out = BTreeSet::new();
+        for &v in &self.recent {
+            if out.len() >= budget {
+                break;
+            }
+            if members.contains(&v) {
+                out.insert(v);
+            }
+        }
+        fill_low_degree(&mut out, view, budget);
+        BlockSet::from_iter(out)
+    }
+}
+
+/// The strategy suite as a closed enum: concrete (checkpointable,
+/// nameable in repro files) while still dispatching through
+/// [`AdaptiveAdversary`].
+#[derive(Clone, Debug)]
+pub enum AdaptiveStrategy {
+    /// [`MinCutAttack`].
+    MinCut(MinCutAttack),
+    /// [`HighDegreeAttack`].
+    HighDegree(HighDegreeAttack),
+    /// [`OscillatingPartition`].
+    Oscillate(OscillatingPartition),
+    /// [`FollowTheHealer`].
+    FollowHealer(FollowTheHealer),
+}
+
+impl AdaptiveStrategy {
+    /// One instance of every strategy, in a stable order.
+    pub fn all() -> Vec<Self> {
+        vec![
+            Self::MinCut(MinCutAttack::default()),
+            Self::HighDegree(HighDegreeAttack),
+            Self::Oscillate(OscillatingPartition::default()),
+            Self::FollowHealer(FollowTheHealer::default()),
+        ]
+    }
+
+    /// Look a strategy up by its [`AdaptiveAdversary::name`] (used when
+    /// replaying repro files).
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::all().into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl AdaptiveAdversary for AdaptiveStrategy {
+    fn name(&self) -> &'static str {
+        match self {
+            Self::MinCut(s) => s.name(),
+            Self::HighDegree(s) => s.name(),
+            Self::Oscillate(s) => s.name(),
+            Self::FollowHealer(s) => s.name(),
+        }
+    }
+
+    fn pick(&mut self, view: &ObserverView, budget: usize) -> BlockSet {
+        match self {
+            Self::MinCut(s) => s.pick(view, budget),
+            Self::HighDegree(s) => s.pick(view, budget),
+            Self::Oscillate(s) => s.pick(view, budget),
+            Self::FollowHealer(s) => s.pick(view, budget),
+        }
+    }
+}
+
+/// Runs an [`AdaptiveAdversary`] under the model's rules: snapshots age
+/// through a [`ViewBuffer`] before the strategy may see them, rejoins are
+/// inferred by diffing consecutive membership lists, the strategy's own
+/// past block sets are appended to each view, and over-budget answers are
+/// clamped deterministically (smallest ids keep priority). Optionally
+/// records the emitted block-set trace for counterexample shrinking.
+#[derive(Clone, Debug)]
+pub struct AdaptiveHarness<S> {
+    strategy: S,
+    bound: f64,
+    views: ViewBuffer,
+    prev_nodes: Option<Vec<NodeId>>,
+    /// Recent emissions shown back to the strategy (bounded).
+    history: VecDeque<(u64, BlockSet)>,
+    /// Full emission record `(round, blocked)` when recording.
+    trace: Vec<(u64, BlockSet)>,
+    record: bool,
+}
+
+/// How many of its own past block sets the strategy gets to see.
+const HISTORY_WINDOW: usize = 32;
+
+impl<S: AdaptiveAdversary> AdaptiveHarness<S> {
+    /// Harness a strategy with budget fraction `bound` and `t = lateness`.
+    pub fn new(strategy: S, bound: f64, lateness: u64) -> Self {
+        assert!((0.0..1.0).contains(&bound), "bound must be in [0, 1), got {bound}");
+        Self {
+            strategy,
+            bound,
+            views: ViewBuffer::new(lateness),
+            prev_nodes: None,
+            history: VecDeque::new(),
+            trace: Vec::new(),
+            record: false,
+        }
+    }
+
+    /// Record every emitted block set (for the shrinker / repro files).
+    pub fn recording(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// The blocking budget fraction `r`.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// The enforced lateness `t`.
+    pub fn lateness(&self) -> u64 {
+        self.views.lateness()
+    }
+
+    /// The wrapped strategy's name.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// The recorded `(round, blocked)` emissions (empty unless
+    /// [`recording`](Self::recording) was enabled).
+    pub fn trace(&self) -> &[(u64, BlockSet)] {
+        &self.trace
+    }
+}
+
+impl<S: AdaptiveAdversary> Attacker for AdaptiveHarness<S> {
+    fn observe(&mut self, snap: TopologySnapshot) {
+        let mut view = ObserverView::new(snap.round, snap.nodes, snap.edges);
+        view.groups = snap.groups;
+        view.group_edges =
+            snap.group_edges.iter().map(|&(a, b)| (a as usize, b as usize)).collect();
+        if let Some(prev) = &self.prev_nodes {
+            view.rejoined =
+                view.nodes.iter().copied().filter(|v| prev.binary_search(v).is_err()).collect();
+        }
+        self.prev_nodes = Some(view.nodes.clone());
+        self.views.push(view);
+    }
+
+    fn block(&mut self, round: u64, n_current: usize) -> BlockSet {
+        let budget = (self.bound * n_current as f64).floor() as usize;
+        let picks = match self.views.visible(round) {
+            Some(view) if budget > 0 => {
+                // The strategy always knows its own past actions — that
+                // information is its own, not the network's, so it is not
+                // subject to the lateness rule.
+                let mut view = view.clone();
+                view.blocked_history = self.history.iter().cloned().collect();
+                self.strategy.pick(&view, budget)
+            }
+            _ => BlockSet::none(),
+        };
+        // Clamp, never trust: a buggy strategy must not exceed the model.
+        let blocked = if picks.len() > budget {
+            BlockSet::from_iter(picks.iter().take(budget))
+        } else {
+            picks
+        };
+        self.history.push_back((round, blocked.clone()));
+        while self.history.len() > HISTORY_WINDOW {
+            self.history.pop_front();
+        }
+        if self.record {
+            self.trace.push((round, blocked.clone()));
+        }
+        blocked
+    }
+
+    fn label(&self) -> String {
+        self.strategy.name().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_snapshot(round: u64, n: u64) -> TopologySnapshot {
+        TopologySnapshot {
+            round,
+            nodes: (0..n).map(NodeId).collect(),
+            edges: (0..n - 1).map(|i| (NodeId(i), NodeId(i + 1))).collect(),
+            groups: Vec::new(),
+            group_edges: Vec::new(),
+        }
+    }
+
+    /// Barbell: two cliques of `k` joined by the single edge (k-1, k).
+    fn barbell_snapshot(round: u64, k: u64) -> TopologySnapshot {
+        let mut edges = Vec::new();
+        for side in 0..2 {
+            let base = side * k;
+            for i in 0..k {
+                for j in i + 1..k {
+                    edges.push((NodeId(base + i), NodeId(base + j)));
+                }
+            }
+        }
+        edges.push((NodeId(k - 1), NodeId(k)));
+        TopologySnapshot {
+            round,
+            nodes: (0..2 * k).map(NodeId).collect(),
+            edges,
+            groups: Vec::new(),
+            group_edges: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn min_cut_finds_the_barbell_bridge() {
+        let mut h = AdaptiveHarness::new(MinCutAttack::default(), 0.2, 0);
+        h.observe(barbell_snapshot(0, 8));
+        let b = h.block(0, 16);
+        // Budget 3; the bridge endpoints are the only 1-node separators.
+        assert!(b.contains(NodeId(7)) || b.contains(NodeId(8)), "bridge must be cut: {b:?}");
+        assert!(b.within_bound(0.2, 16));
+    }
+
+    #[test]
+    fn min_cut_uses_implied_group_topology() {
+        // Path of 3 groups: isolating an end group means blocking the
+        // middle group entirely.
+        let groups: Vec<Vec<NodeId>> =
+            (0..3).map(|g| (0..3).map(|i| NodeId(g * 3 + i)).collect()).collect();
+        let snap = TopologySnapshot {
+            round: 0,
+            nodes: (0..9).map(NodeId).collect(),
+            edges: Vec::new(),
+            groups: groups.clone(),
+            group_edges: vec![(0, 1), (1, 2)],
+        };
+        let mut h = AdaptiveHarness::new(MinCutAttack::default(), 0.4, 0);
+        h.observe(snap);
+        let b = h.block(0, 9);
+        assert!(groups[1].iter().all(|&v| b.contains(v)), "middle group is the separator: {b:?}");
+    }
+
+    #[test]
+    fn high_degree_prefers_leaders_and_hubs() {
+        // Star: node 0 is the hub.
+        let snap = TopologySnapshot {
+            round: 0,
+            nodes: (0..10).map(NodeId).collect(),
+            edges: (1..10).map(|i| (NodeId(0), NodeId(i))).collect(),
+            groups: Vec::new(),
+            group_edges: Vec::new(),
+        };
+        let mut h = AdaptiveHarness::new(HighDegreeAttack, 0.11, 0);
+        h.observe(snap);
+        let b = h.block(0, 10);
+        assert!(b.contains(NodeId(0)), "the hub must be the first pick");
+    }
+
+    #[test]
+    fn oscillation_switches_sides() {
+        let mut h = AdaptiveHarness::new(OscillatingPartition { period: 2 }, 0.25, 0);
+        for r in 0..6 {
+            h.observe(line_snapshot(r, 20));
+        }
+        let early = h.block(1, 20); // phase 0: lower half
+        let late = h.block(4, 20); // phase 2 switched back? round 4/2 = 2 -> even -> lower
+        let mid = h.block(2, 20); // round 2/2 = 1 -> odd -> upper half
+        assert!(early.iter().all(|v| v.raw() < 10), "even phase blocks the lower half");
+        assert!(mid.iter().all(|v| v.raw() >= 10), "odd phase blocks the upper half");
+        assert_eq!(early, late);
+        assert_ne!(early, mid);
+    }
+
+    #[test]
+    fn follow_the_healer_reblocks_rejoiners() {
+        let mut h = AdaptiveHarness::new(FollowTheHealer::default(), 0.1, 0);
+        // Node 5 vanishes, then reappears.
+        let full: Vec<NodeId> = (0..30).map(NodeId).collect();
+        let without: Vec<NodeId> = full.iter().copied().filter(|v| v.raw() != 5).collect();
+        h.observe(TopologySnapshot::nodes_only(0, full.clone()));
+        h.observe(TopologySnapshot::nodes_only(1, without));
+        h.observe(TopologySnapshot::nodes_only(2, full));
+        let b = h.block(2, 30);
+        assert!(b.contains(NodeId(5)), "the healed node is re-blocked first: {b:?}");
+    }
+
+    #[test]
+    fn harness_enforces_lateness_and_budget() {
+        struct Greedy;
+        impl AdaptiveAdversary for Greedy {
+            fn name(&self) -> &'static str {
+                "test:greedy"
+            }
+            fn pick(&mut self, view: &ObserverView, _budget: usize) -> BlockSet {
+                BlockSet::from_iter(view.nodes.iter().copied()) // ignores the budget
+            }
+        }
+        let mut h = AdaptiveHarness::new(Greedy, 0.3, 4);
+        h.observe(line_snapshot(0, 10));
+        assert!(h.block(2, 10).is_empty(), "no view is 4 rounds old yet");
+        let b = h.block(4, 10);
+        assert_eq!(b.len(), 3, "over-budget answers are clamped");
+    }
+
+    #[test]
+    fn recording_captures_the_trace() {
+        let mut h = AdaptiveHarness::new(HighDegreeAttack, 0.2, 0).recording();
+        for r in 0..5 {
+            h.observe(line_snapshot(r, 10));
+            h.block(r, 10);
+        }
+        assert_eq!(h.trace().len(), 5);
+        assert!(h.trace().iter().all(|(_, b)| b.len() <= 2));
+    }
+}

@@ -61,6 +61,11 @@ impl DosAdversary {
         self.bound
     }
 
+    /// The configured strategy.
+    pub fn strategy(&self) -> DosStrategy {
+        self.strategy
+    }
+
     /// The enforced lateness `t`.
     pub fn lateness(&self) -> u64 {
         self.history.lateness()

@@ -21,6 +21,37 @@
 use rand::RngExt;
 use simnet::rng::NodeRng;
 use simnet::NodeId;
+use std::fmt;
+
+/// Why a [`FaultSchedule`] configuration was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultConfigError {
+    /// `link_loss` outside `[0, 1)` (1.0 would lose every message —
+    /// specify fewer rounds instead) or not a finite number.
+    LinkLoss(f64),
+    /// `crash_hazard` outside `[0, 1)` or not a finite number.
+    CrashHazard(f64),
+    /// `max_crash_frac` outside `[0, 1]` or not a finite number.
+    MaxCrashFrac(f64),
+}
+
+impl fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultConfigError::LinkLoss(x) => {
+                write!(f, "link_loss must be a probability in [0, 1), got {x}")
+            }
+            FaultConfigError::CrashHazard(x) => {
+                write!(f, "crash_hazard must be a probability in [0, 1), got {x}")
+            }
+            FaultConfigError::MaxCrashFrac(x) => {
+                write!(f, "max_crash_frac must be a fraction in [0, 1], got {x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
 
 /// A seed-derived composite fault schedule (message loss + crashes).
 #[derive(Clone, Debug)]
@@ -35,21 +66,27 @@ pub struct FaultSchedule {
 }
 
 impl FaultSchedule {
-    /// Build a schedule. `link_loss` and `crash_hazard` are probabilities
-    /// in `[0, 1)`; `recover_after` is the crash-recovery downtime in
-    /// rounds (`None` = crash-stop); `max_crash_frac` caps the total
-    /// crashed fraction of the population.
-    pub fn new(
+    /// Build a schedule, validating every rate. `link_loss` and
+    /// `crash_hazard` are probabilities in `[0, 1)`; `recover_after` is
+    /// the crash-recovery downtime in rounds (`None` = crash-stop);
+    /// `max_crash_frac` caps the total crashed fraction of the population.
+    pub fn try_new(
         seed: u64,
         link_loss: f64,
         crash_hazard: f64,
         recover_after: Option<u64>,
         max_crash_frac: f64,
-    ) -> Self {
-        assert!((0.0..1.0).contains(&link_loss), "loss must be a probability");
-        assert!((0.0..1.0).contains(&crash_hazard), "hazard must be a probability");
-        assert!((0.0..=1.0).contains(&max_crash_frac));
-        Self {
+    ) -> Result<Self, FaultConfigError> {
+        if !link_loss.is_finite() || !(0.0..1.0).contains(&link_loss) {
+            return Err(FaultConfigError::LinkLoss(link_loss));
+        }
+        if !crash_hazard.is_finite() || !(0.0..1.0).contains(&crash_hazard) {
+            return Err(FaultConfigError::CrashHazard(crash_hazard));
+        }
+        if !max_crash_frac.is_finite() || !(0.0..=1.0).contains(&max_crash_frac) {
+            return Err(FaultConfigError::MaxCrashFrac(max_crash_frac));
+        }
+        Ok(Self {
             seed,
             link_loss,
             crash_hazard,
@@ -57,6 +94,21 @@ impl FaultSchedule {
             max_crash_frac,
             rng: simnet::rng::stream(seed, u64::MAX - 3, 0xFA_5EED),
             crashed: 0,
+        })
+    }
+
+    /// [`try_new`](Self::try_new) for statically known-good rates;
+    /// panics with the validation message otherwise.
+    pub fn new(
+        seed: u64,
+        link_loss: f64,
+        crash_hazard: f64,
+        recover_after: Option<u64>,
+        max_crash_frac: f64,
+    ) -> Self {
+        match Self::try_new(seed, link_loss, crash_hazard, recover_after, max_crash_frac) {
+            Ok(s) => s,
+            Err(e) => panic!("invalid fault schedule: {e}"),
         }
     }
 
@@ -167,6 +219,24 @@ mod tests {
         let more = s.draw_crashes(&ids(100), 100);
         assert!(crashed.len() + more.len() <= 10);
         assert_eq!(s.crashed_so_far(), crashed.len() + more.len());
+    }
+
+    #[test]
+    fn bad_rates_are_rejected_with_named_errors() {
+        let loss = FaultSchedule::try_new(0, 1.0, 0.0, None, 0.1).unwrap_err();
+        assert_eq!(loss, FaultConfigError::LinkLoss(1.0));
+        assert!(loss.to_string().contains("link_loss"));
+        let hazard = FaultSchedule::try_new(0, 0.0, f64::NAN, None, 0.1).unwrap_err();
+        assert!(matches!(hazard, FaultConfigError::CrashHazard(_)));
+        let frac = FaultSchedule::try_new(0, 0.0, 0.0, None, -0.5).unwrap_err();
+        assert_eq!(frac, FaultConfigError::MaxCrashFrac(-0.5));
+        assert!(FaultSchedule::try_new(0, 0.0, 0.0, None, 1.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "link_loss must be a probability")]
+    fn new_panics_with_the_validation_message() {
+        FaultSchedule::new(0, 2.0, 0.0, None, 0.1);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Validated environment-driven tuning knobs.
+//!
+//! The fuzz and fault harnesses take their workload sizes from environment
+//! variables (`FUZZ_CASES`, `SOAK_ROUNDS`, ...). Raw `parse().unwrap()`
+//! turns a typo into an opaque panic; these helpers name the variable and
+//! the offending value in the error, and clamp in-range-but-extreme values
+//! into the documented band instead of letting a fat-fingered exponent
+//! melt CI.
+
+use std::fmt;
+
+/// Why an environment knob could not be used.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KnobError {
+    /// The environment variable.
+    pub name: String,
+    /// The raw value found there.
+    pub value: String,
+}
+
+impl fmt::Display for KnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "environment variable {} must be a non-negative integer, got `{}`",
+            self.name, self.value
+        )
+    }
+}
+
+impl std::error::Error for KnobError {}
+
+/// Parse an already-fetched knob value: `None` (unset) yields `default`,
+/// a valid integer is clamped into `[lo, hi]`, anything else is a
+/// [`KnobError`] naming the variable.
+pub fn parse_usize_knob(
+    name: &str,
+    raw: Option<&str>,
+    default: usize,
+    lo: usize,
+    hi: usize,
+) -> Result<usize, KnobError> {
+    match raw {
+        None => Ok(default),
+        Some(text) => match text.trim().parse::<usize>() {
+            Ok(v) => Ok(v.clamp(lo, hi)),
+            Err(_) => Err(KnobError { name: name.to_string(), value: text.to_string() }),
+        },
+    }
+}
+
+/// Read `name` from the environment via [`parse_usize_knob`].
+pub fn env_usize_knob(
+    name: &str,
+    default: usize,
+    lo: usize,
+    hi: usize,
+) -> Result<usize, KnobError> {
+    let raw = std::env::var(name).ok();
+    parse_usize_knob(name, raw.as_deref(), default, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_uses_the_default() {
+        assert_eq!(parse_usize_knob("X", None, 100, 1, 1000), Ok(100));
+    }
+
+    #[test]
+    fn in_range_values_pass_through() {
+        assert_eq!(parse_usize_knob("X", Some("250"), 100, 1, 1000), Ok(250));
+        assert_eq!(parse_usize_knob("X", Some(" 7 "), 100, 1, 1000), Ok(7));
+    }
+
+    #[test]
+    fn extreme_values_clamp_into_the_band() {
+        assert_eq!(parse_usize_knob("X", Some("999999999"), 100, 1, 1000), Ok(1000));
+        assert_eq!(parse_usize_knob("X", Some("0"), 100, 1, 1000), Ok(1));
+    }
+
+    #[test]
+    fn garbage_names_the_variable_and_value() {
+        let err = parse_usize_knob("FUZZ_CASES", Some("lots"), 100, 1, 1000).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("FUZZ_CASES") && msg.contains("`lots`"), "got: {msg}");
+    }
+}

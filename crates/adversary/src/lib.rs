@@ -18,15 +18,29 @@
 //! * [`faults`] — beyond-model composite fault schedules (probabilistic
 //!   message loss, crash-stop and crash-recovery with state loss) used by
 //!   the self-healing robustness harness in `reconfig-core`.
+//! * [`adaptive`] — red-team adversaries that react to the observed
+//!   topology (still `t`-late and `r`-bounded): min-cut targeting,
+//!   hub/leader targeting, oscillating partitions, and follow-the-healer.
+//! * [`shrink`] — delta-debugging reduction of invariant-violating block
+//!   traces to minimal replayable repro files.
 
+pub mod adaptive;
 pub mod churn;
 pub mod dos;
 pub mod faults;
 pub mod fuzz;
+pub mod knobs;
 pub mod lateness;
+pub mod shrink;
 
+pub use adaptive::{
+    AdaptiveHarness, AdaptiveStrategy, Attacker, FollowTheHealer, HighDegreeAttack, MinCutAttack,
+    OscillatingPartition,
+};
 pub use churn::{ChurnEvent, ChurnSchedule, ChurnStrategy};
 pub use dos::{DosAdversary, DosStrategy};
-pub use faults::FaultSchedule;
+pub use faults::{FaultConfigError, FaultSchedule};
 pub use fuzz::{FaultPlan, FuzzLimits};
+pub use knobs::{env_usize_knob, KnobError};
 pub use lateness::{TopologyHistory, TopologySnapshot};
+pub use shrink::{shrink_trace, AdversaryTrace, ReplayAdversary, Repro, ShrinkReport};

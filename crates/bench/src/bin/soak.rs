@@ -1,0 +1,264 @@
+//! Checkpointed adversarial soak runs.
+//!
+//! Drives an overlay family against an adaptive adversary for as many
+//! epochs as asked, writing crash-consistent checkpoints every `k` rounds
+//! through [`simnet::checkpoint::Checkpointer`]. Kill the process at any
+//! point and rerun with `--resume`: the overlay restarts from
+//! `latest.json` with its RNG mid-stream and continues to the target —
+//! the checkpoint/resume digest differential in
+//! `tests/checkpoint_resume.rs` is what certifies the trajectory is the
+//! one the uninterrupted run would have taken. (The adversary itself
+//! restarts cold and re-observes; overlay state, not attacker state, is
+//! what a soak protects.)
+//!
+//! Every round is monitored for disconnection and family-specific
+//! structural violations. When a fresh (non-resumed) run catches a
+//! violation, the recorded adversary trace is delta-debugged down to a
+//! minimal reproducing prefix and written next to the checkpoints as a
+//! replayable repro file.
+//!
+//! ```text
+//! soak --family dos --epochs 200 --every 64 --dir soak-out
+//! soak --family dos --epochs 200 --every 64 --dir soak-out --resume
+//! ```
+
+use overlay_adversary::adaptive::{AdaptiveHarness, AdaptiveStrategy, Attacker};
+use overlay_adversary::shrink::{shrink_trace, AdversaryTrace, ReplayAdversary, Repro};
+use reconfig_core::churndos::{ChurnDosOverlay, ChurnDosParams};
+use reconfig_core::dos::{DosOverlay, DosParams};
+use reconfig_core::healing::HealableOverlay;
+use simnet::checkpoint::{read_value, Checkpointer};
+use simnet::Checkpoint;
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Opts {
+    family: String,
+    epochs: u64,
+    every: Option<u64>,
+    dir: String,
+    resume: bool,
+    seed: u64,
+    bound: f64,
+    strategy: String,
+    lateness_epochs: u64,
+    n: usize,
+    group_c: f64,
+}
+
+impl Opts {
+    fn parse() -> Result<Self, String> {
+        let mut o = Self {
+            family: "dos".into(),
+            epochs: 50,
+            every: None,
+            dir: "soak-out".into(),
+            resume: false,
+            seed: 0x50AC,
+            bound: 0.1,
+            strategy: "adaptive:min-cut".into(),
+            lateness_epochs: 0,
+            n: 512,
+            group_c: 4.0,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut val = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--family" => o.family = val("--family")?,
+                "--epochs" => o.epochs = parse(&val("--epochs")?, "--epochs")?,
+                "--every" => o.every = Some(parse(&val("--every")?, "--every")?),
+                "--dir" => o.dir = val("--dir")?,
+                "--resume" => o.resume = true,
+                "--seed" => o.seed = parse(&val("--seed")?, "--seed")?,
+                "--bound" => o.bound = parse(&val("--bound")?, "--bound")?,
+                "--strategy" => o.strategy = val("--strategy")?,
+                "--lateness-epochs" => {
+                    o.lateness_epochs = parse(&val("--lateness-epochs")?, "--lateness-epochs")?
+                }
+                "--n" => o.n = parse(&val("--n")?, "--n")?,
+                "--group-c" => o.group_c = parse(&val("--group-c")?, "--group-c")?,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: soak [--family dos|churndos] [--epochs E] [--every ROUNDS] \
+                         [--dir PATH] [--resume] [--seed S] [--bound R] [--strategy NAME] \
+                         [--lateness-epochs L] [--n N] [--group-c C]"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if !(0.0..1.0).contains(&o.bound) {
+            return Err(format!("--bound must be in [0, 1), got {}", o.bound));
+        }
+        Ok(o)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{name}: cannot parse {s:?}"))
+}
+
+fn adversary(o: &Opts, epoch_len: u64) -> Result<AdaptiveHarness<AdaptiveStrategy>, String> {
+    let strategy = AdaptiveStrategy::by_name(&o.strategy)
+        .ok_or_else(|| format!("unknown strategy {:?} (see AdaptiveStrategy::all)", o.strategy))?;
+    Ok(AdaptiveHarness::new(strategy, o.bound, o.lateness_epochs * epoch_len).recording())
+}
+
+/// The soak loop, generic over the overlay family.
+fn soak<O, F>(mut ov: O, mk_fresh: F, digest: fn(&O) -> u64, o: &Opts) -> Result<ExitCode, String>
+where
+    O: HealableOverlay + Checkpoint,
+    F: Fn() -> O,
+{
+    let epoch_len = ov.epoch_len();
+    let every = o.every.unwrap_or(epoch_len).max(1);
+    let total_rounds = o.epochs * epoch_len;
+    let resumed_at = ov.round();
+    let mut ckpt = Checkpointer::checkpoint_every(every, &o.dir).map_err(|e| format!("{e:?}"))?;
+    let mut adv = adversary(o, epoch_len)?;
+    println!(
+        "soak: family={} n={} strategy={} bound={} lateness={}t rounds {}..{} \
+         checkpoint every {every} rounds into {}",
+        o.family,
+        ov.len(),
+        adv.strategy_name(),
+        o.bound,
+        o.lateness_epochs,
+        resumed_at,
+        total_rounds,
+        o.dir,
+    );
+
+    let mut disconnected = 0u64;
+    let mut first_violation: Option<(u64, String)> = None;
+    while ov.round() < total_rounds {
+        adv.observe(ov.snapshot(ov.round()));
+        let blocked = adv.block(ov.round(), ov.len());
+        let m = ov.step_overlay(&blocked);
+        if !m.connected {
+            disconnected += 1;
+            if first_violation.is_none() {
+                first_violation = Some((ov.round(), "disconnected".into()));
+            }
+        }
+        if let Some(why) = ov.structure_violation() {
+            if first_violation.is_none() {
+                first_violation = Some((ov.round(), why));
+            }
+        }
+        if ov.round() % every == 0 {
+            ckpt.save(ov.round(), &ov.save()).map_err(|e| format!("{e:?}"))?;
+        }
+        if ov.round() % (10 * epoch_len) == 0 {
+            println!(
+                "  round {}/{total_rounds}: epochs {} (failed {}), disconnected rounds {}, \
+                 checkpoints {}",
+                ov.round(),
+                ov.epochs(),
+                ov.failed_epochs(),
+                disconnected,
+                ckpt.written(),
+            );
+        }
+    }
+    println!(
+        "done: {} rounds, {} epochs ({} failed), {} disconnected rounds, {} checkpoints, \
+         final digest {:#018x}",
+        ov.round(),
+        ov.epochs(),
+        ov.failed_epochs(),
+        disconnected,
+        ckpt.written(),
+        digest(&ov),
+    );
+
+    let Some((round, why)) = first_violation else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    println!("VIOLATION at round {round}: {why}");
+    if resumed_at != 0 {
+        println!("(resumed run: trace starts mid-flight, skipping the shrinker)");
+        return Ok(ExitCode::FAILURE);
+    }
+    // Shrink the recorded trace to a minimal reproducing prefix. The
+    // oracle replays candidate traces against a fresh overlay.
+    let original = AdversaryTrace::from_emissions(adv.trace());
+    let violates = |t: &AdversaryTrace| {
+        let mut ov = mk_fresh();
+        let mut replay = ReplayAdversary::new(t.clone());
+        for _ in 0..t.len() {
+            replay.observe(ov.snapshot(ov.round()));
+            let blocked = replay.block(ov.round(), ov.len());
+            let m = ov.step_overlay(&blocked);
+            if !m.connected || ov.structure_violation().is_some() {
+                return true;
+            }
+        }
+        false
+    };
+    let (shrunk, report) = shrink_trace(&original, violates, 500);
+    let repro = Repro {
+        family: o.family.clone(),
+        strategy: adv.strategy_name().to_string(),
+        seed: o.seed,
+        n: o.n,
+        bound: o.bound,
+        lateness: o.lateness_epochs * epoch_len,
+        trace: shrunk,
+    };
+    let path = Path::new(&o.dir).join("violation.repro.json");
+    repro.write(&path).map_err(|e| format!("{e:?}"))?;
+    println!(
+        "shrunk {:?} -> {:?} in {} oracle runs; repro: {}",
+        report.original,
+        report.shrunk,
+        report.tests_run,
+        path.display(),
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let o = Opts::parse()?;
+    let latest = Path::new(&o.dir).join("latest.json");
+    match o.family.as_str() {
+        "dos" => {
+            let params = DosParams { group_c: o.group_c, ..DosParams::default() };
+            let ov = if o.resume {
+                DosOverlay::load(&read_value(&latest).map_err(|e| format!("{e:?}"))?)
+                    .map_err(|e| format!("resume: {e:?}"))?
+            } else {
+                DosOverlay::new(o.n, params, o.seed)
+            };
+            soak(ov, || DosOverlay::new(o.n, params, o.seed), DosOverlay::state_digest, &o)
+        }
+        "churndos" => {
+            let params = ChurnDosParams::default();
+            let ov = if o.resume {
+                ChurnDosOverlay::load(&read_value(&latest).map_err(|e| format!("{e:?}"))?)
+                    .map_err(|e| format!("resume: {e:?}"))?
+            } else {
+                ChurnDosOverlay::new(o.n, params, o.seed)
+            };
+            soak(
+                ov,
+                || ChurnDosOverlay::new(o.n, params, o.seed),
+                ChurnDosOverlay::state_digest,
+                &o,
+            )
+        }
+        other => Err(format!("unknown family {other:?} (dos | churndos)")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("soak: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -135,12 +135,19 @@ impl ChurnDosOverlay {
     }
 
     /// Re-admit a node after crash-recovery via the ordinary join path:
-    /// the smallest-id current member acts as introducer, and the join
+    /// the smallest-id live member acts as introducer, and the join
     /// materializes at the next successful reconfiguration like any other.
+    /// A no-op for current members and for nodes already waiting to join
+    /// (a rejoin racing a fresh crash in the same epoch must not enqueue
+    /// the node twice).
     pub fn rejoin(&mut self, v: NodeId) {
         let members = self.groups.nodes();
-        assert!(!members.contains(&v), "{v} is still a member");
-        let introducer = members.iter().copied().min().expect("overlay has members");
+        if members.contains(&v) || self.pending_joins.iter().any(|&(j, _)| j == v) {
+            return;
+        }
+        let introducer =
+            crate::healing::smallest_live_introducer(&members, &self.pending_leaves, v)
+                .expect("overlay has members");
         self.pending_joins.push((v, introducer));
     }
 
@@ -332,6 +339,106 @@ impl ChurnDosOverlay {
         }
         out.epochs = self.epochs_done;
         out
+    }
+}
+
+impl simnet::Checkpoint for ChurnDosOverlay {
+    fn save(&self) -> serde_json::Value {
+        let joins: Vec<serde_json::Value> = self
+            .pending_joins
+            .iter()
+            .map(|&(new, delegate)| serde_json::json!({ "new": new.raw(), "via": delegate.raw() }))
+            .collect();
+        serde_json::json!({
+            "format": "churndos-overlay-checkpoint",
+            "groups": self.groups.save(),
+            "band": self.band.save(),
+            "epoch_len": self.epoch_len,
+            "round": self.round,
+            "epochs_done": self.epochs_done,
+            "failed_epochs": self.failed_epochs,
+            "epoch_ok": self.epoch_ok,
+            "prev_blocked": self.prev_blocked.save(),
+            "pending_joins": joins,
+            "pending_leaves": simnet::checkpoint::save_slice(&self.pending_leaves),
+            "rng": self.rng.save(),
+            "digest_stamp": self.state_digest(),
+        })
+    }
+    fn load(v: &serde_json::Value) -> simnet::CkptResult<Self> {
+        use simnet::checkpoint::{field, get_array, get_bool, get_str, get_u64, get_vec};
+        match get_str(v, "format")? {
+            "churndos-overlay-checkpoint" => {}
+            other => {
+                return Err(simnet::CkptError::Corrupt(format!(
+                    "not a churndos overlay checkpoint: `{other}`"
+                )))
+            }
+        }
+        let mut pending_joins = Vec::new();
+        for j in get_array(v, "pending_joins")? {
+            pending_joins.push((NodeId(get_u64(j, "new")?), NodeId(get_u64(j, "via")?)));
+        }
+        let ov = Self {
+            groups: LabeledGroups::load(field(v, "groups")?)?,
+            band: SizeBand::load(field(v, "band")?)?,
+            epoch_len: get_u64(v, "epoch_len")?,
+            round: get_u64(v, "round")?,
+            epochs_done: get_u64(v, "epochs_done")?,
+            failed_epochs: get_u64(v, "failed_epochs")?,
+            epoch_ok: get_bool(v, "epoch_ok")?,
+            prev_blocked: BlockSet::load(field(v, "prev_blocked")?)?,
+            pending_joins,
+            pending_leaves: get_vec(v, "pending_leaves")?,
+            rng: NodeRng::load(field(v, "rng")?)?,
+        };
+        let stamped = get_u64(v, "digest_stamp")?;
+        let restored = ov.state_digest();
+        if restored != stamped {
+            return Err(simnet::CkptError::DigestMismatch { stamped, restored });
+        }
+        Ok(ov)
+    }
+}
+
+impl crate::healing::HealableOverlay for ChurnDosOverlay {
+    fn members_sorted(&self) -> Vec<NodeId> {
+        let mut m = self.members();
+        m.sort_unstable();
+        m
+    }
+    fn len(&self) -> usize {
+        self.len()
+    }
+    fn round(&self) -> u64 {
+        self.round()
+    }
+    fn epoch_len(&self) -> u64 {
+        self.epoch_len()
+    }
+    fn epochs(&self) -> u64 {
+        self.epochs()
+    }
+    fn failed_epochs(&self) -> u64 {
+        self.failed_epochs
+    }
+    fn snapshot(&self, round: u64) -> TopologySnapshot {
+        self.snapshot(round)
+    }
+    fn step_overlay(&mut self, blocked: &BlockSet) -> DosRoundMetrics {
+        self.step(blocked)
+    }
+    fn evict(&mut self, v: NodeId) {
+        self.evict(v);
+    }
+    fn rejoin(&mut self, v: NodeId) {
+        self.rejoin(v);
+    }
+    fn structure_violation(&self) -> Option<String> {
+        // The label cover itself must stay a prefix cover (Lemma 18's
+        // structural half); sizes may dip below the band mid-epoch while
+        // evictions outpace reconfiguration.
+        (!self.groups().lemma18_holds()).then(|| "label cover out of Lemma 18 shape".to_string())
     }
 }
 

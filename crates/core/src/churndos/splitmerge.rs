@@ -226,6 +226,49 @@ impl LabeledGroups {
     }
 }
 
+impl simnet::Checkpoint for SizeBand {
+    fn save(&self) -> serde_json::Value {
+        serde_json::json!({ "c": self.c as u64 })
+    }
+    fn load(v: &serde_json::Value) -> simnet::CkptResult<Self> {
+        Ok(Self { c: simnet::checkpoint::get_usize(v, "c")? })
+    }
+}
+
+impl simnet::Checkpoint for LabeledGroups {
+    fn save(&self) -> serde_json::Value {
+        // `(label, members)` pairs in BTreeMap order; member order within a
+        // group is preserved verbatim. The cover is exactly the label set.
+        let entries: Vec<serde_json::Value> = self
+            .groups
+            .iter()
+            .map(|(l, g)| {
+                serde_json::json!({ "label": l.save(), "members": simnet::checkpoint::save_slice(g) })
+            })
+            .collect();
+        serde_json::Value::Array(entries)
+    }
+    fn load(v: &serde_json::Value) -> simnet::CkptResult<Self> {
+        use simnet::checkpoint::{field, get_vec, missing};
+        let entries = v.as_array().ok_or_else(|| missing("labeled groups"))?;
+        let mut groups: BTreeMap<Label, Vec<NodeId>> = BTreeMap::new();
+        for e in entries {
+            let l = Label::load(field(e, "label")?)?;
+            let members: Vec<NodeId> = get_vec(e, "members")?;
+            if groups.insert(l, members).is_some() {
+                return Err(simnet::CkptError::Corrupt(format!("duplicate label {l:?}")));
+            }
+        }
+        let cover = PrefixCover::from_labels(groups.keys().copied());
+        if !cover.is_exact_cover() {
+            return Err(simnet::CkptError::Corrupt(
+                "labels do not form an exact prefix cover".into(),
+            ));
+        }
+        Ok(Self { cover, groups })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

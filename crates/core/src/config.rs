@@ -129,6 +129,42 @@ impl Schedule {
     }
 }
 
+impl simnet::Checkpoint for SamplingParams {
+    fn save(&self) -> serde_json::Value {
+        use simnet::checkpoint::f64_bits;
+        serde_json::json!({
+            "alpha": f64_bits(self.alpha),
+            "beta": f64_bits(self.beta),
+            "epsilon": f64_bits(self.epsilon),
+            "c": f64_bits(self.c),
+        })
+    }
+    fn load(v: &serde_json::Value) -> simnet::CkptResult<Self> {
+        use simnet::checkpoint::get_f64_bits;
+        Ok(Self {
+            alpha: get_f64_bits(v, "alpha")?,
+            beta: get_f64_bits(v, "beta")?,
+            epsilon: get_f64_bits(v, "epsilon")?,
+            c: get_f64_bits(v, "c")?,
+        })
+    }
+}
+
+impl simnet::Checkpoint for Schedule {
+    fn save(&self) -> serde_json::Value {
+        let m: Vec<u64> = self.m.iter().map(|&x| x as u64).collect();
+        serde_json::json!({ "iterations": self.iterations as u64, "m": m })
+    }
+    fn load(v: &serde_json::Value) -> simnet::CkptResult<Self> {
+        use simnet::checkpoint::{get_usize, get_vec};
+        let m: Vec<u64> = get_vec(v, "m")?;
+        Ok(Self {
+            iterations: get_usize(v, "iterations")?,
+            m: m.into_iter().map(|x| x as usize).collect(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,7 @@
 use crate::config::{log2_ceil, SamplingParams, Schedule};
 use crate::dos::supernode::GroupedNetwork;
 use crate::metrics::{DosRoundMetrics, DosRunMetrics};
-use overlay_adversary::dos::DosAdversary;
+use overlay_adversary::adaptive::Attacker;
 use simnet::rng::NodeRng;
 use simnet::{BlockSet, NodeId};
 use std::collections::HashMap;
@@ -134,10 +134,11 @@ impl DosOverlay {
         metrics
     }
 
-    /// Drive the overlay against an adversary for `rounds` rounds,
-    /// recording per-round metrics. The adversary observes the topology
-    /// every round (its lateness buffer decides what it may act on).
-    pub fn run(&mut self, adversary: &mut DosAdversary, rounds: u64) -> DosRunMetrics {
+    /// Drive the overlay against any [`Attacker`] — oblivious or adaptive —
+    /// for `rounds` rounds, recording per-round metrics. The adversary
+    /// observes the topology every round (its lateness buffer decides what
+    /// it may act on).
+    pub fn run<A: Attacker>(&mut self, adversary: &mut A, rounds: u64) -> DosRunMetrics {
         let mut out = DosRunMetrics { n: self.grouped.len(), ..Default::default() };
         for _ in 0..rounds {
             adversary.observe(self.grouped.snapshot(self.round));
@@ -165,9 +166,14 @@ impl DosOverlay {
 
     /// Re-admit a node after crash-recovery via the join path: it is
     /// placed in a uniformly random group, exactly as the per-epoch
-    /// resampling would place it.
+    /// resampling would place it. A no-op for current members (a rejoin
+    /// racing a fresh crash in the same epoch must not double-insert), and
+    /// the RNG is only drawn when the insert actually happens.
     pub fn rejoin(&mut self, v: NodeId) {
         use rand::RngExt;
+        if self.grouped.supernode_of(v).is_some() {
+            return;
+        }
         let x = self.rng.random_range(0..self.grouped.cube().len());
         self.grouped.insert(v, x);
     }
@@ -230,10 +236,97 @@ pub fn required_lateness(n: usize, params: &DosParams) -> u64 {
     2 * DosOverlay::epoch_len_for(n, params)
 }
 
+impl simnet::Checkpoint for DosOverlay {
+    fn save(&self) -> serde_json::Value {
+        serde_json::json!({
+            "format": "dos-overlay-checkpoint",
+            "grouped": self.grouped.save(),
+            "epoch_len": self.epoch_len,
+            "round": self.round,
+            "epochs_done": self.epochs_done,
+            "failed_epochs": self.failed_epochs,
+            "epoch_ok": self.epoch_ok,
+            "prev_blocked": self.prev_blocked.save(),
+            "rng": self.rng.save(),
+            "digest_stamp": self.state_digest(),
+        })
+    }
+    fn load(v: &serde_json::Value) -> simnet::CkptResult<Self> {
+        use simnet::checkpoint::{field, get_bool, get_str, get_u64};
+        match get_str(v, "format")? {
+            "dos-overlay-checkpoint" => {}
+            other => {
+                return Err(simnet::CkptError::Corrupt(format!(
+                    "not a dos overlay checkpoint: `{other}`"
+                )))
+            }
+        }
+        let ov = Self {
+            grouped: GroupedNetwork::load(field(v, "grouped")?)?,
+            epoch_len: get_u64(v, "epoch_len")?,
+            round: get_u64(v, "round")?,
+            epochs_done: get_u64(v, "epochs_done")?,
+            failed_epochs: get_u64(v, "failed_epochs")?,
+            epoch_ok: get_bool(v, "epoch_ok")?,
+            prev_blocked: BlockSet::load(field(v, "prev_blocked")?)?,
+            rng: NodeRng::load(field(v, "rng")?)?,
+        };
+        let stamped = get_u64(v, "digest_stamp")?;
+        let restored = ov.state_digest();
+        if restored != stamped {
+            return Err(simnet::CkptError::DigestMismatch { stamped, restored });
+        }
+        Ok(ov)
+    }
+}
+
+impl crate::healing::HealableOverlay for DosOverlay {
+    fn members_sorted(&self) -> Vec<NodeId> {
+        let mut m = self.grouped().nodes();
+        m.sort_unstable();
+        m
+    }
+    fn len(&self) -> usize {
+        self.grouped().len()
+    }
+    fn round(&self) -> u64 {
+        self.round()
+    }
+    fn epoch_len(&self) -> u64 {
+        self.epoch_len()
+    }
+    fn epochs(&self) -> u64 {
+        self.epochs()
+    }
+    fn failed_epochs(&self) -> u64 {
+        self.failed_epochs
+    }
+    fn snapshot(&self, round: u64) -> overlay_adversary::lateness::TopologySnapshot {
+        self.grouped().snapshot(round)
+    }
+    fn step_overlay(&mut self, blocked: &BlockSet) -> DosRoundMetrics {
+        self.step(blocked)
+    }
+    fn evict(&mut self, v: NodeId) {
+        self.evict(v);
+    }
+    fn rejoin(&mut self, v: NodeId) {
+        self.rejoin(v);
+    }
+    fn structure_violation(&self) -> Option<String> {
+        // Lemma 16 upper band with generous slack: evictions shrink groups
+        // but random resampling must never overfill one.
+        let expected = self.grouped().len() as f64 / self.grouped().cube().len() as f64;
+        let (_, max) = self.grouped().group_size_range();
+        (max as f64 > 3.0 * expected.max(1.0))
+            .then(|| format!("group size {max} vs expected {expected:.1}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use overlay_adversary::dos::DosStrategy;
+    use overlay_adversary::dos::{DosAdversary, DosStrategy};
 
     #[test]
     fn epoch_len_grows_like_loglog() {

@@ -192,6 +192,42 @@ impl GroupedNetwork {
     }
 }
 
+impl simnet::Checkpoint for GroupedNetwork {
+    fn save(&self) -> serde_json::Value {
+        // Groups are stored verbatim, preserving within-group member order:
+        // `insert` appends, so live state is not necessarily id-sorted and
+        // `from_assignment` (which sorts) would not round-trip it.
+        let groups: Vec<serde_json::Value> =
+            self.groups.iter().map(|g| simnet::checkpoint::save_slice(g)).collect();
+        serde_json::json!({ "dim": u64::from(self.cube.dim()), "groups": groups })
+    }
+    fn load(v: &serde_json::Value) -> simnet::CkptResult<Self> {
+        use simnet::checkpoint::{get_array, get_u64, load_vec};
+        let cube = Hypercube::new(get_u64(v, "dim")? as u32);
+        let raw = get_array(v, "groups")?;
+        if raw.len() != cube.len() as usize {
+            return Err(simnet::CkptError::Corrupt(format!(
+                "{} groups for a dimension-{} cube",
+                raw.len(),
+                cube.dim()
+            )));
+        }
+        let mut groups: Vec<Vec<NodeId>> = Vec::with_capacity(raw.len());
+        for g in raw {
+            groups.push(load_vec(g)?);
+        }
+        let mut assign = HashMap::new();
+        for (x, g) in groups.iter().enumerate() {
+            for &v in g {
+                if assign.insert(v, x as u64).is_some() {
+                    return Err(simnet::CkptError::Corrupt(format!("{v} in two groups")));
+                }
+            }
+        }
+        Ok(Self { cube, groups, assign })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,11 +41,22 @@
 use crate::metrics::DosRoundMetrics;
 use crate::monitor::{Invariant, InvariantMonitor};
 use crate::reconfig::overlay::ExpanderOverlay;
-use overlay_adversary::dos::DosAdversary;
+use overlay_adversary::adaptive::Attacker;
 use overlay_adversary::faults::FaultSchedule;
 use overlay_adversary::lateness::TopologySnapshot;
 use simnet::{BlockSet, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// The join path's delegate choice, shared by every overlay family: the
+/// smallest-id member that is not excluded (pending leavers, the joiner
+/// itself) acts as introducer. `None` when nobody qualifies.
+pub fn smallest_live_introducer(
+    members: &[NodeId],
+    excluded: &[NodeId],
+    joiner: NodeId,
+) -> Option<NodeId> {
+    members.iter().copied().filter(|v| *v != joiner && !excluded.contains(v)).min()
+}
 
 /// Tuning knobs of the self-healing layer.
 #[derive(Clone, Copy, Debug)]
@@ -216,9 +227,9 @@ impl HealthTracker {
 /// The round-stepped overlay interface the healing runner drives: both
 /// group families ([`crate::dos::overlay::DosOverlay`] and
 /// [`crate::churndos::overlay::ChurnDosOverlay`]) expose exactly this
-/// shape. The epoch-level expander family has its own runner
-/// ([`ExpanderFaultRun`]).
-pub trait Healable {
+/// shape, with the impls living next to each overlay. The epoch-level
+/// expander family has its own runner ([`ExpanderFaultRun`]).
+pub trait HealableOverlay {
     /// Current members in ascending id order.
     fn members_sorted(&self) -> Vec<NodeId>;
     /// Member count.
@@ -248,94 +259,10 @@ pub trait Healable {
     fn structure_violation(&self) -> Option<String>;
 }
 
-impl Healable for crate::dos::overlay::DosOverlay {
-    fn members_sorted(&self) -> Vec<NodeId> {
-        let mut m = self.grouped().nodes();
-        m.sort_unstable();
-        m
-    }
-    fn len(&self) -> usize {
-        self.grouped().len()
-    }
-    fn round(&self) -> u64 {
-        self.round()
-    }
-    fn epoch_len(&self) -> u64 {
-        self.epoch_len()
-    }
-    fn epochs(&self) -> u64 {
-        self.epochs()
-    }
-    fn failed_epochs(&self) -> u64 {
-        self.failed_epochs
-    }
-    fn snapshot(&self, round: u64) -> TopologySnapshot {
-        self.grouped().snapshot(round)
-    }
-    fn step_overlay(&mut self, blocked: &BlockSet) -> DosRoundMetrics {
-        self.step(blocked)
-    }
-    fn evict(&mut self, v: NodeId) {
-        self.evict(v);
-    }
-    fn rejoin(&mut self, v: NodeId) {
-        self.rejoin(v);
-    }
-    fn structure_violation(&self) -> Option<String> {
-        // Lemma 16 upper band with generous slack: evictions shrink groups
-        // but random resampling must never overfill one.
-        let expected = self.grouped().len() as f64 / self.grouped().cube().len() as f64;
-        let (_, max) = self.grouped().group_size_range();
-        (max as f64 > 3.0 * expected.max(1.0))
-            .then(|| format!("group size {max} vs expected {expected:.1}"))
-    }
-}
-
-impl Healable for crate::churndos::overlay::ChurnDosOverlay {
-    fn members_sorted(&self) -> Vec<NodeId> {
-        let mut m = self.members();
-        m.sort_unstable();
-        m
-    }
-    fn len(&self) -> usize {
-        self.len()
-    }
-    fn round(&self) -> u64 {
-        self.round()
-    }
-    fn epoch_len(&self) -> u64 {
-        self.epoch_len()
-    }
-    fn epochs(&self) -> u64 {
-        self.epochs()
-    }
-    fn failed_epochs(&self) -> u64 {
-        self.failed_epochs
-    }
-    fn snapshot(&self, round: u64) -> TopologySnapshot {
-        self.snapshot(round)
-    }
-    fn step_overlay(&mut self, blocked: &BlockSet) -> DosRoundMetrics {
-        self.step(blocked)
-    }
-    fn evict(&mut self, v: NodeId) {
-        self.evict(v);
-    }
-    fn rejoin(&mut self, v: NodeId) {
-        self.rejoin(v);
-    }
-    fn structure_violation(&self) -> Option<String> {
-        // The label cover itself must stay a prefix cover (Lemma 18's
-        // structural half); sizes may dip below the band mid-epoch while
-        // evictions outpace reconfiguration.
-        (!self.groups().lemma18_holds()).then(|| "label cover out of Lemma 18 shape".to_string())
-    }
-}
-
 /// Drives a round-stepped overlay through a composite fault schedule with
 /// (or, as a control, without) self-healing, checking the invariants every
 /// round.
-pub struct FaultyRunner<O: Healable> {
+pub struct FaultyRunner<O: HealableOverlay> {
     /// The overlay under test.
     pub overlay: O,
     schedule: FaultSchedule,
@@ -351,7 +278,7 @@ pub struct FaultyRunner<O: Healable> {
     evicted_while_down: BTreeSet<NodeId>,
 }
 
-impl<O: Healable> FaultyRunner<O> {
+impl<O: HealableOverlay> FaultyRunner<O> {
     /// Wrap an overlay. `healing = false` is the degradation control: the
     /// same faults are injected but nobody re-requests, evicts or rejoins.
     pub fn new(overlay: O, schedule: FaultSchedule, params: HealingParams, healing: bool) -> Self {
@@ -511,11 +438,12 @@ impl<O: Healable> FaultyRunner<O> {
         m
     }
 
-    /// Drive the overlay against a DoS adversary for `rounds` rounds. The
-    /// blocking budget is judged here, against the population the
-    /// adversary was given — healing may shrink the membership inside the
-    /// subsequent step without retroactively delegitimizing the block set.
-    pub fn run(&mut self, adversary: &mut DosAdversary, rounds: u64) {
+    /// Drive the overlay against any [`Attacker`] — oblivious or adaptive —
+    /// for `rounds` rounds. The blocking budget is judged here, against the
+    /// population the adversary was given — healing may shrink the
+    /// membership inside the subsequent step without retroactively
+    /// delegitimizing the block set.
+    pub fn run<A: Attacker>(&mut self, adversary: &mut A, rounds: u64) {
         for _ in 0..rounds {
             let round = self.overlay.round();
             adversary.observe(self.overlay.snapshot(round));
@@ -742,7 +670,7 @@ mod tests {
     use crate::churndos::overlay::{ChurnDosOverlay, ChurnDosParams};
     use crate::config::SamplingParams;
     use crate::dos::overlay::{DosOverlay, DosParams};
-    use overlay_adversary::dos::DosStrategy;
+    use overlay_adversary::dos::{DosAdversary, DosStrategy};
 
     fn sched(seed: u64, loss: f64, hazard: f64, recover: Option<u64>) -> FaultSchedule {
         FaultSchedule::new(seed, loss, hazard, recover, 0.1)
@@ -823,6 +751,124 @@ mod tests {
         assert!(s.evictions > 0, "1-epoch heartbeat must evict crashed members");
         assert!(s.rejoins > 0, "recovered nodes must rejoin");
         assert!(runner.monitor.count(Invariant::Connectivity) == 0, "{}", runner.monitor.report());
+    }
+
+    #[test]
+    fn retry_exhaustion_fires_exactly_at_the_cap() {
+        // attempts == max_retries is the first exhausted attempt — not one
+        // earlier, not one later.
+        let params = HealingParams { heartbeat_epochs: 3, max_retries: 3, backoff_base: 1 };
+        let mut t = HealthTracker::new(params);
+        let v = NodeId(7);
+        t.mark_desynced(v, 0, true);
+        // Attempts 1 and 2 fail: still backing off.
+        for k in 1..3u64 {
+            match t.note_retry(v, k, false) {
+                RetryOutcome::Backoff => {}
+                _ => panic!("attempt {k} of 3 must back off"),
+            }
+        }
+        // Attempt 3 == max_retries: exhausted even though it also failed.
+        assert!(matches!(t.note_retry(v, 3, false), RetryOutcome::Exhausted));
+        assert_eq!(t.stats.exhausted, 1);
+        assert_eq!(t.stats.retries, 3);
+        // A success on the final attempt resyncs instead of exhausting.
+        let mut t2 = HealthTracker::new(params);
+        t2.mark_desynced(v, 0, true);
+        let _ = t2.note_retry(v, 1, false);
+        let _ = t2.note_retry(v, 2, false);
+        assert!(matches!(t2.note_retry(v, 3, true), RetryOutcome::Resynced));
+        assert_eq!(t2.stats.exhausted, 0);
+        assert_eq!(t2.desynced_len(), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let params = HealingParams { heartbeat_epochs: 3, max_retries: 5, backoff_base: 2 };
+        let mut t = HealthTracker::new(params);
+        let v = NodeId(1);
+        t.mark_desynced(v, 10, true);
+        // First retry due at 10 + base.
+        assert_eq!(t.due_retries(11), vec![] as Vec<NodeId>);
+        assert_eq!(t.due_retries(12), vec![v]);
+        // Failed attempt k reschedules base << k rounds out.
+        let _ = t.note_retry(v, 12, false);
+        assert_eq!(t.due_retries(15), vec![] as Vec<NodeId>);
+        assert_eq!(t.due_retries(16), vec![v]); // 12 + (2 << 1)
+        let _ = t.note_retry(v, 16, false);
+        assert_eq!(t.due_retries(23), vec![] as Vec<NodeId>);
+        assert_eq!(t.due_retries(24), vec![v]); // 16 + (2 << 2)
+    }
+
+    #[test]
+    fn double_eviction_is_a_noop_everywhere() {
+        use crate::healing::HealableOverlay as _;
+        // DosOverlay: evicting an evicted (now unknown) node changes nothing.
+        let mut dos = DosOverlay::new(256, DosParams::default(), 4);
+        let victim = dos.members_sorted()[0];
+        dos.evict(victim);
+        let digest = dos.state_digest();
+        let n = dos.len();
+        dos.evict(victim);
+        assert_eq!((dos.len(), dos.state_digest()), (n, digest));
+
+        // ChurnDosOverlay likewise.
+        let mut cd = ChurnDosOverlay::new(600, ChurnDosParams::default(), 4);
+        let victim = cd.members()[0];
+        cd.evict(victim);
+        let digest = cd.state_digest();
+        cd.evict(victim);
+        assert_eq!(cd.state_digest(), digest);
+
+        // ExpanderOverlay: pending-leave dedup plus non-member no-op.
+        let mut ex = ExpanderOverlay::new(16, 8, crate::config::SamplingParams::default(), 4);
+        let victim = ex.members()[0];
+        ex.evict(victim);
+        let digest = ex.state_digest();
+        ex.evict(victim);
+        assert_eq!(ex.state_digest(), digest);
+        ex.evict(NodeId(999_999)); // never a member
+        assert_eq!(ex.state_digest(), digest);
+    }
+
+    #[test]
+    fn rejoin_racing_a_fresh_crash_does_not_double_enqueue() {
+        // A node is evicted, rejoins, and "crashes + rejoins" again within
+        // the same epoch: the join path must hold exactly one entry for it,
+        // and a rejoin of a still-standing member must be a no-op.
+        let mut cd = ChurnDosOverlay::new(600, ChurnDosParams::default(), 5);
+        let v = cd.members()[0];
+        cd.evict(v);
+        cd.rejoin(v);
+        let digest = cd.state_digest();
+        cd.rejoin(v); // second rejoin in the same epoch: already pending
+        assert_eq!(cd.state_digest(), digest);
+        let member = cd.members()[0];
+        cd.rejoin(member); // still a member: no-op
+        assert_eq!(cd.state_digest(), digest);
+
+        let mut ex = ExpanderOverlay::new(16, 8, crate::config::SamplingParams::default(), 5);
+        let v = ex.members()[0];
+        ex.evict(v);
+        ex.rejoin(v);
+        let digest = ex.state_digest();
+        ex.rejoin(v);
+        assert_eq!(ex.state_digest(), digest);
+        let staying = *ex.members().iter().find(|u| **u != v).unwrap();
+        ex.rejoin(staying);
+        assert_eq!(ex.state_digest(), digest);
+
+        // DosOverlay rejoins immediately; a member rejoin must not draw RNG
+        // or double-insert.
+        let mut dos = DosOverlay::new(256, DosParams::default(), 5);
+        use crate::healing::HealableOverlay as _;
+        let v = dos.members_sorted()[0];
+        dos.evict(v);
+        dos.rejoin(v);
+        let digest = dos.state_digest();
+        let n = dos.len();
+        dos.rejoin(v);
+        assert_eq!((dos.len(), dos.state_digest()), (n, digest));
     }
 
     #[test]

@@ -25,6 +25,22 @@ pub enum BridgeMode {
     NaiveWalk,
 }
 
+impl simnet::Checkpoint for BridgeMode {
+    fn save(&self) -> serde_json::Value {
+        match self {
+            BridgeMode::PointerDoubling => "pointer-doubling".into(),
+            BridgeMode::NaiveWalk => "naive-walk".into(),
+        }
+    }
+    fn load(v: &serde_json::Value) -> simnet::CkptResult<Self> {
+        match v.as_str() {
+            Some("pointer-doubling") => Ok(BridgeMode::PointerDoubling),
+            Some("naive-walk") => Ok(BridgeMode::NaiveWalk),
+            _ => Err(simnet::CkptError::Corrupt("unknown bridge mode".into())),
+        }
+    }
+}
+
 /// Input to one epoch.
 #[derive(Clone, Debug)]
 pub struct EpochInput<'a> {

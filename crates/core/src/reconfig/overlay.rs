@@ -89,27 +89,27 @@ impl ExpanderOverlay {
 
     /// Evict a member (self-healing graceful degradation): the node is
     /// treated as a leaver and excluded at the next reconfiguration.
-    /// Idempotent per epoch — double evictions are collapsed.
+    /// Idempotent — double evictions collapse, and evicting a node that is
+    /// not (or no longer) a member is a no-op.
     pub fn evict(&mut self, v: NodeId) {
-        assert!(self.graph.contains(v), "evictee {v} is not a member");
-        if !self.pending_leaves.contains(&v) {
+        if self.graph.contains(v) && !self.pending_leaves.contains(&v) {
             self.pending_leaves.push(v);
         }
     }
 
     /// Re-admit a node after crash-recovery via the ordinary join path:
     /// the smallest-id member that is not itself leaving acts as delegate,
-    /// and the join is integrated at the next reconfiguration.
+    /// and the join is integrated at the next reconfiguration. A no-op for
+    /// staying members and for nodes already waiting to join (a rejoin
+    /// racing a fresh crash in the same epoch must not enqueue twice).
     pub fn rejoin(&mut self, v: NodeId) {
-        assert!(!self.graph.contains(v) || self.pending_leaves.contains(&v), "{v} is a member");
-        let delegate = self
-            .graph
-            .nodes()
-            .iter()
-            .copied()
-            .filter(|u| !self.pending_leaves.contains(u) && *u != v)
-            .min()
-            .expect("overlay has staying members");
+        let staying = self.graph.contains(v) && !self.pending_leaves.contains(&v);
+        if staying || self.pending_joins.iter().any(|&(j, _)| j == v) {
+            return;
+        }
+        let delegate =
+            crate::healing::smallest_live_introducer(self.graph.nodes(), &self.pending_leaves, v)
+                .expect("overlay has staying members");
         self.pending_joins.push((v, delegate));
     }
 
@@ -166,6 +166,59 @@ impl ExpanderOverlay {
             d.write_u64(l.raw());
         }
         d.finish()
+    }
+}
+
+impl simnet::Checkpoint for ExpanderOverlay {
+    fn save(&self) -> serde_json::Value {
+        let joins: Vec<serde_json::Value> = self
+            .pending_joins
+            .iter()
+            .map(|&(new, delegate)| serde_json::json!({ "new": new.raw(), "via": delegate.raw() }))
+            .collect();
+        serde_json::json!({
+            "format": "expander-overlay-checkpoint",
+            "graph": self.graph.save(),
+            "params": self.params.save(),
+            "bridge": self.bridge.save(),
+            "seed": self.seed,
+            "epoch": self.epoch,
+            "pending_joins": joins,
+            "pending_leaves": simnet::checkpoint::save_slice(&self.pending_leaves),
+            "total_rounds": self.total_rounds,
+            "digest_stamp": self.state_digest(),
+        })
+    }
+    fn load(v: &serde_json::Value) -> simnet::CkptResult<Self> {
+        use simnet::checkpoint::{field, get_array, get_str, get_u64, get_vec};
+        match get_str(v, "format")? {
+            "expander-overlay-checkpoint" => {}
+            other => {
+                return Err(simnet::CkptError::Corrupt(format!(
+                    "not an expander overlay checkpoint: `{other}`"
+                )))
+            }
+        }
+        let mut pending_joins = Vec::new();
+        for j in get_array(v, "pending_joins")? {
+            pending_joins.push((NodeId(get_u64(j, "new")?), NodeId(get_u64(j, "via")?)));
+        }
+        let ov = Self {
+            graph: HGraph::load(field(v, "graph")?)?,
+            params: SamplingParams::load(field(v, "params")?)?,
+            bridge: BridgeMode::load(field(v, "bridge")?)?,
+            seed: get_u64(v, "seed")?,
+            epoch: get_u64(v, "epoch")?,
+            pending_joins,
+            pending_leaves: get_vec(v, "pending_leaves")?,
+            total_rounds: get_u64(v, "total_rounds")?,
+        };
+        let stamped = get_u64(v, "digest_stamp")?;
+        let restored = ov.state_digest();
+        if restored != stamped {
+            return Err(simnet::CkptError::DigestMismatch { stamped, restored });
+        }
+        Ok(ov)
     }
 }
 

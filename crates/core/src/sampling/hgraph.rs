@@ -172,6 +172,55 @@ impl Protocol for Alg1Node {
     }
 }
 
+impl simnet::Checkpoint for SampleMsg {
+    fn save(&self) -> serde_json::Value {
+        match self {
+            SampleMsg::Request => serde_json::json!({ "kind": "request" }),
+            SampleMsg::Response(v) => serde_json::json!({ "kind": "response", "v": v.raw() }),
+        }
+    }
+    fn load(v: &serde_json::Value) -> simnet::CkptResult<Self> {
+        use simnet::checkpoint::{get_str, get_u64};
+        match get_str(v, "kind")? {
+            "request" => Ok(SampleMsg::Request),
+            "response" => Ok(SampleMsg::Response(NodeId(get_u64(v, "v")?))),
+            other => Err(simnet::CkptError::Corrupt(format!("unknown SampleMsg `{other}`"))),
+        }
+    }
+}
+
+impl simnet::Checkpoint for Alg1Node {
+    fn save(&self) -> serde_json::Value {
+        use simnet::checkpoint::save_slice;
+        serde_json::json!({
+            "schedule": self.schedule.save(),
+            "neighbors": save_slice(&self.neighbors),
+            "m": save_slice(&self.m),
+            "iter": self.iter as u64,
+            "failures": self.failures,
+            "samples": match &self.samples {
+                None => serde_json::Value::Null,
+                Some(s) => save_slice(s),
+            },
+        })
+    }
+    fn load(v: &serde_json::Value) -> simnet::CkptResult<Self> {
+        use simnet::checkpoint::{field, get_u64, get_usize, get_vec, load_vec};
+        let samples = match field(v, "samples")? {
+            serde_json::Value::Null => None,
+            s => Some(load_vec(s)?),
+        };
+        Ok(Self {
+            schedule: Arc::new(Schedule::load(field(v, "schedule")?)?),
+            neighbors: get_vec(v, "neighbors")?,
+            m: get_vec(v, "m")?,
+            iter: get_usize(v, "iter")?,
+            failures: get_u64(v, "failures")?,
+            samples,
+        })
+    }
+}
+
 /// Run Algorithm 1 on the given H-graph: every node samples
 /// `m_T >= beta log n` nodes. Returns per-node samples and run metrics.
 pub fn run_alg1(

@@ -98,6 +98,95 @@ pub fn connected_components(adj: &Adjacency, blocked: &BlockSet) -> (usize, Vec<
     (count, labels)
 }
 
+/// A vertex cut candidate: blocking `separator` disconnects `isolated`
+/// from the rest of the graph (assuming the graph was connected).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexCut {
+    /// The nodes to remove (block).
+    pub separator: Vec<NodeId>,
+    /// The region cut off once the separator is gone.
+    pub isolated: Vec<NodeId>,
+}
+
+/// Find a sparse vertex cut by BFS region growing: from every seed, grow a
+/// region one BFS layer-node at a time and record the region's *vertex
+/// boundary* (nodes outside the region adjacent to it) whenever it fits in
+/// `max_separator`. Among all candidates the one isolating the most nodes
+/// wins, ties broken by the smaller separator, then by node order — fully
+/// deterministic.
+///
+/// This is the adaptive adversary's min-cut targeting primitive: blocking
+/// the returned separator disconnects `isolated` from the remainder, so a
+/// budget of `max_separator` blocked nodes denies service to
+/// `separator.len() + isolated.len()` nodes. Returns `None` when no
+/// boundary ever fits the budget (e.g. an expander with a healthy degree
+/// and a small budget — which is exactly the paper's claim).
+pub fn sparsest_vertex_cut(adj: &Adjacency, max_separator: usize) -> Option<VertexCut> {
+    let n = adj.len();
+    if n < 3 || max_separator == 0 {
+        return None;
+    }
+    // Cap the number of seeds so the search stays near-linear on large
+    // graphs; the stride keeps seed choice deterministic and spread out.
+    let max_seeds = 64.min(n);
+    let stride = n.div_ceil(max_seeds);
+    let mut best: Option<VertexCut> = None;
+    let half = n / 2;
+    for seed in (0..n).step_by(stride) {
+        let mut in_region = vec![false; n];
+        let mut region: Vec<usize> = vec![seed];
+        in_region[seed] = true;
+        let mut frontier: Vec<usize> = Vec::new(); // boundary, sorted rebuild per step
+        let mut cursor = 0usize;
+        while region.len() <= half {
+            // Current vertex boundary of the region.
+            frontier.clear();
+            let mut seen = vec![false; n];
+            for &r in &region {
+                for &nb in adj.neighbors(r) {
+                    let j = nb as usize;
+                    if !in_region[j] && !seen[j] {
+                        seen[j] = true;
+                        frontier.push(j);
+                    }
+                }
+            }
+            if frontier.len() <= max_separator && region.len() + frontier.len() < n {
+                let cand = VertexCut {
+                    separator: frontier.iter().map(|&j| adj.node(j)).collect(),
+                    isolated: region.iter().map(|&r| adj.node(r)).collect(),
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        cand.isolated.len() > b.isolated.len()
+                            || (cand.isolated.len() == b.isolated.len()
+                                && cand.separator.len() < b.separator.len())
+                    }
+                };
+                if better {
+                    best = cand.into();
+                }
+            }
+            // Grow: absorb the next BFS node (smallest dense index on the
+            // frontier keeps growth deterministic).
+            frontier.sort_unstable();
+            let Some(&next) = frontier.iter().find(|&&j| !in_region[j]) else { break };
+            in_region[next] = true;
+            region.push(next);
+            cursor += 1;
+            if cursor > half {
+                break;
+            }
+        }
+    }
+    if let Some(cut) = &mut best {
+        cut.separator.sort_unstable();
+        cut.isolated.sort_unstable();
+    }
+    best
+}
+
 fn components_impl<F: Fn(NodeId) -> bool>(adj: &Adjacency, alive: F) -> (usize, UnionFind) {
     let mut uf = UnionFind::new(adj.len());
     let mut alive_count = 0usize;
@@ -190,5 +279,65 @@ mod tests {
     fn empty_graph_is_connected() {
         let adj = Adjacency::from_edges(&[], &[]);
         assert!(is_connected(&adj));
+    }
+
+    // -- sparsest vertex cut ------------------------------------------------
+
+    /// Two cliques of size `k` joined by a single bridge node.
+    fn barbell(k: u64) -> Adjacency {
+        let bridge = 2 * k;
+        let nodes: Vec<NodeId> = (0..=bridge).map(NodeId).collect();
+        let mut edges = Vec::new();
+        for side in [0, k] {
+            for a in side..side + k {
+                for b in (a + 1)..side + k {
+                    edges.push((NodeId(a), NodeId(b)));
+                }
+            }
+        }
+        edges.push((NodeId(0), NodeId(bridge)));
+        edges.push((NodeId(k), NodeId(bridge)));
+        Adjacency::from_edges(&nodes, &edges)
+    }
+
+    #[test]
+    fn cut_finds_the_barbell_bottleneck() {
+        let adj = barbell(5);
+        let cut = sparsest_vertex_cut(&adj, 2).expect("barbell has a sparse cut");
+        assert!(cut.separator.len() <= 2);
+        // Removing the separator must actually disconnect the isolated side.
+        let blocked: BlockSet = cut.separator.iter().copied().collect();
+        assert!(!is_connected_restricted(&adj, &blocked));
+        assert!(!cut.isolated.is_empty());
+    }
+
+    #[test]
+    fn clique_has_no_small_cut() {
+        // K6: every vertex boundary of a proper region has >= 3 nodes.
+        let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let mut edges = Vec::new();
+        for a in 0..6u64 {
+            for b in (a + 1)..6 {
+                edges.push((NodeId(a), NodeId(b)));
+            }
+        }
+        let adj = Adjacency::from_edges(&nodes, &edges);
+        assert!(sparsest_vertex_cut(&adj, 2).is_none());
+        assert!(sparsest_vertex_cut(&adj, 0).is_none());
+    }
+
+    #[test]
+    fn cut_is_deterministic() {
+        let adj = barbell(6);
+        assert_eq!(sparsest_vertex_cut(&adj, 3), sparsest_vertex_cut(&adj, 3));
+    }
+
+    #[test]
+    fn path_cut_isolates_half() {
+        let adj = path4();
+        let cut = sparsest_vertex_cut(&adj, 1).expect("a path has articulation points");
+        assert_eq!(cut.separator.len(), 1);
+        let blocked: BlockSet = cut.separator.iter().copied().collect();
+        assert!(!is_connected_restricted(&adj, &blocked));
     }
 }

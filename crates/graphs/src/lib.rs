@@ -20,6 +20,7 @@
 //! simple random [`walk`]s.
 
 pub mod butterfly;
+pub mod checkpoint;
 pub mod connectivity;
 pub mod hamilton;
 pub mod hgraph;
@@ -32,7 +33,10 @@ pub mod union_find;
 pub mod walk;
 
 pub use butterfly::Butterfly;
-pub use connectivity::{connected_components, is_connected, is_connected_restricted, Adjacency};
+pub use connectivity::{
+    connected_components, is_connected, is_connected_restricted, sparsest_vertex_cut, Adjacency,
+    VertexCut,
+};
 pub use hamilton::HamiltonCycle;
 pub use hgraph::HGraph;
 pub use hypercube::Hypercube;

@@ -128,6 +128,13 @@ impl PrefixCover {
         Self { labels }
     }
 
+    /// Rebuild a cover from an explicit label set (e.g. a checkpoint).
+    /// The caller is responsible for the set being an exact prefix-free
+    /// cover; [`Self::is_exact_cover`] verifies it.
+    pub fn from_labels<I: IntoIterator<Item = Label>>(labels: I) -> Self {
+        Self { labels: labels.into_iter().collect() }
+    }
+
     /// Number of supernode labels.
     pub fn len(&self) -> usize {
         self.labels.len()

@@ -1,0 +1,375 @@
+//! Crash-consistent checkpointing of simulation state.
+//!
+//! The serde shim deliberately has no typed serialization, so checkpointing
+//! is explicit: every state-bearing type implements [`Checkpoint`], mapping
+//! itself to and from a [`serde_json::Value`] tree. Floats are stored as
+//! IEEE-754 bit patterns (`f64::to_bits`) — a checkpoint must restore the
+//! *exact* value, not a decimal approximation, or replay digests diverge.
+//!
+//! Files are written crash-consistently: the value is serialized to a
+//! `*.tmp` sibling, flushed, and renamed over the final path, so a reader
+//! never observes a torn checkpoint. [`Checkpointer`] implements the
+//! `checkpoint_every(k)` cadence and names files by round.
+
+use crate::rng::NodeRng;
+use crate::NodeId;
+use rand_chacha::ChaChaState;
+use serde_json::Value;
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Why a checkpoint could not be loaded.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem error while reading or writing.
+    Io(std::io::Error),
+    /// The file is not valid JSON.
+    Parse(String),
+    /// The JSON shape does not match what the loader expects.
+    Corrupt(String),
+    /// The restored state does not reproduce the digest stamped at save
+    /// time — the checkpoint is internally inconsistent.
+    DigestMismatch {
+        /// Digest recorded when the checkpoint was written.
+        stamped: u64,
+        /// Digest of the state actually restored.
+        restored: u64,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CkptError::Parse(m) => write!(f, "checkpoint is not valid JSON: {m}"),
+            CkptError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            CkptError::DigestMismatch { stamped, restored } => write!(
+                f,
+                "checkpoint digest mismatch: stamped {stamped:#018x}, restored state hashes \
+                 to {restored:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// Shorthand for checkpoint results.
+pub type CkptResult<T> = Result<T, CkptError>;
+
+/// Explicit state serialization to a [`Value`] tree.
+///
+/// `load(save(x))` must reconstruct `x` exactly — including RNG stream
+/// positions — so that a resumed run continues the original's digest
+/// stream bit for bit.
+pub trait Checkpoint: Sized {
+    /// Serialize the full state.
+    fn save(&self) -> Value;
+    /// Reconstruct state from [`Self::save`] output.
+    fn load(v: &Value) -> CkptResult<Self>;
+}
+
+// ---------------------------------------------------------------------------
+// Value helpers (used by Checkpoint impls across the workspace)
+// ---------------------------------------------------------------------------
+
+/// Missing-field error with context.
+pub fn missing(what: &str) -> CkptError {
+    CkptError::Corrupt(format!("missing or mistyped field `{what}`"))
+}
+
+/// Fetch an object member or fail with a named error.
+pub fn field<'v>(v: &'v Value, name: &str) -> CkptResult<&'v Value> {
+    v.get(name).ok_or_else(|| missing(name))
+}
+
+/// Fetch a `u64` member.
+pub fn get_u64(v: &Value, name: &str) -> CkptResult<u64> {
+    field(v, name)?.as_u64().ok_or_else(|| missing(name))
+}
+
+/// Fetch a `usize` member.
+pub fn get_usize(v: &Value, name: &str) -> CkptResult<usize> {
+    Ok(get_u64(v, name)? as usize)
+}
+
+/// Fetch a `bool` member.
+pub fn get_bool(v: &Value, name: &str) -> CkptResult<bool> {
+    field(v, name)?.as_bool().ok_or_else(|| missing(name))
+}
+
+/// Fetch a string member.
+pub fn get_str<'v>(v: &'v Value, name: &str) -> CkptResult<&'v str> {
+    field(v, name)?.as_str().ok_or_else(|| missing(name))
+}
+
+/// Fetch an array member.
+pub fn get_array<'v>(v: &'v Value, name: &str) -> CkptResult<&'v Vec<Value>> {
+    field(v, name)?.as_array().ok_or_else(|| missing(name))
+}
+
+/// Encode an `f64` exactly, as its IEEE-754 bit pattern.
+pub fn f64_bits(x: f64) -> Value {
+    Value::from(x.to_bits())
+}
+
+/// Decode an `f64` stored via [`f64_bits`].
+pub fn get_f64_bits(v: &Value, name: &str) -> CkptResult<f64> {
+    Ok(f64::from_bits(get_u64(v, name)?))
+}
+
+/// Serialize a slice of checkpointable items.
+pub fn save_slice<T: Checkpoint>(items: &[T]) -> Value {
+    Value::Array(items.iter().map(Checkpoint::save).collect())
+}
+
+/// Deserialize a vector of checkpointable items.
+pub fn load_vec<T: Checkpoint>(v: &Value) -> CkptResult<Vec<T>> {
+    v.as_array().ok_or_else(|| missing("array"))?.iter().map(T::load).collect()
+}
+
+/// Fetch and deserialize a vector member.
+pub fn get_vec<T: Checkpoint>(v: &Value, name: &str) -> CkptResult<Vec<T>> {
+    load_vec(field(v, name)?)
+}
+
+impl Checkpoint for NodeId {
+    fn save(&self) -> Value {
+        Value::from(self.raw())
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        Ok(NodeId(v.as_u64().ok_or_else(|| missing("node id"))?))
+    }
+}
+
+impl Checkpoint for u64 {
+    fn save(&self) -> Value {
+        Value::from(*self)
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        v.as_u64().ok_or_else(|| missing("u64"))
+    }
+}
+
+impl Checkpoint for usize {
+    fn save(&self) -> Value {
+        Value::from(*self)
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        Ok(v.as_u64().ok_or_else(|| missing("usize"))? as usize)
+    }
+}
+
+impl Checkpoint for () {
+    fn save(&self) -> Value {
+        Value::Null
+    }
+
+    fn load(_v: &Value) -> CkptResult<Self> {
+        Ok(())
+    }
+}
+
+impl<T: Checkpoint> Checkpoint for Vec<T> {
+    fn save(&self) -> Value {
+        save_slice(self)
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        load_vec(v)
+    }
+}
+
+impl Checkpoint for NodeRng {
+    fn save(&self) -> Value {
+        let s = self.state();
+        serde_json::json!({
+            "key": s.key.to_vec(),
+            "counter": s.counter,
+            "nonce": s.nonce.to_vec(),
+            "pos": s.pos,
+            "spare": match s.spare {
+                Some(w) => Value::from(w),
+                None => Value::Null,
+            },
+        })
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        let words = |name: &str| -> CkptResult<Vec<u32>> {
+            get_array(v, name)?
+                .iter()
+                .map(|w| w.as_u64().map(|x| x as u32).ok_or_else(|| missing(name)))
+                .collect()
+        };
+        let key_v = words("key")?;
+        let nonce_v = words("nonce")?;
+        let mut key = [0u32; 8];
+        let mut nonce = [0u32; 2];
+        if key_v.len() != 8 || nonce_v.len() != 2 {
+            return Err(CkptError::Corrupt("rng key/nonce length".into()));
+        }
+        key.copy_from_slice(&key_v);
+        nonce.copy_from_slice(&nonce_v);
+        let spare = match field(v, "spare")? {
+            Value::Null => None,
+            w => Some(w.as_u64().ok_or_else(|| missing("spare"))? as u32),
+        };
+        Ok(NodeRng::from_state(ChaChaState {
+            key,
+            counter: get_u64(v, "counter")?,
+            nonce,
+            pos: get_usize(v, "pos")?,
+            spare,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistent files
+// ---------------------------------------------------------------------------
+
+/// Serialize `value` to `path` crash-consistently: write a `*.tmp`
+/// sibling, flush it, then atomically rename over the final name. A crash
+/// at any point leaves either the old file or the new one, never a torn
+/// mix.
+pub fn write_value_atomic(path: &Path, value: &Value) -> CkptResult<()> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| CkptError::Parse(e.to_string()))?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read and parse a checkpoint file.
+pub fn read_value(path: &Path) -> CkptResult<Value> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| CkptError::Parse(e.to_string()))
+}
+
+/// Periodic checkpoint policy: every `k` rounds, write the state into a
+/// directory, one file per checkpointed round plus a stable `latest.json`
+/// alias (both written atomically).
+pub struct Checkpointer {
+    dir: PathBuf,
+    every: u64,
+    written: u64,
+}
+
+impl Checkpointer {
+    /// Checkpoint every `every` rounds into `dir` (created if absent).
+    /// `every` must be nonzero.
+    pub fn checkpoint_every(every: u64, dir: impl Into<PathBuf>) -> CkptResult<Self> {
+        if every == 0 {
+            return Err(CkptError::Corrupt("checkpoint interval must be nonzero".into()));
+        }
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir, every, written: 0 })
+    }
+
+    /// Is a checkpoint due after completing `round`? (Rounds are counted
+    /// from 0, so the first checkpoint lands after round `every - 1`.)
+    pub fn due(&self, round: u64) -> bool {
+        (round + 1) % self.every == 0
+    }
+
+    /// Path of the checkpoint for `round`.
+    pub fn path_for(&self, round: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{round:010}.json"))
+    }
+
+    /// Path of the rolling `latest.json` alias.
+    pub fn latest_path(&self) -> PathBuf {
+        self.dir.join("latest.json")
+    }
+
+    /// Number of checkpoints written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Write `state` as the checkpoint for `round` (and as `latest.json`).
+    pub fn save(&mut self, round: u64, state: &Value) -> CkptResult<PathBuf> {
+        let path = self.path_for(round);
+        write_value_atomic(&path, state)?;
+        write_value_atomic(&self.latest_path(), state)?;
+        self.written += 1;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_checkpoint_round_trips_stream() {
+        let mut a = stream(42, 7, 3);
+        for _ in 0..29 {
+            a.next_u32();
+        }
+        let saved = a.save();
+        let mut b = NodeRng::load(&saved).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_bits_are_exact() {
+        for x in [0.1, 0.30000000000000004, f64::MIN_POSITIVE, 1.0 / 3.0] {
+            let v = serde_json::json!({ "x": f64_bits(x) });
+            let text = serde_json::to_string(&v).unwrap();
+            let back = serde_json::from_str(&text).unwrap();
+            assert_eq!(get_f64_bits(&back, "x").unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join("simnet-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        let v = serde_json::json!({ "a": 1u64, "b": vec![2u64, 3u64] });
+        write_value_atomic(&path, &v).unwrap();
+        assert_eq!(read_value(&path).unwrap(), v);
+        assert!(!path.with_extension("tmp").exists(), "tmp renamed away");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpointer_cadence_and_paths() {
+        let dir = std::env::temp_dir().join("simnet-ckpt-cadence");
+        let ck = Checkpointer::checkpoint_every(5, &dir).unwrap();
+        assert!(!ck.due(0));
+        assert!(ck.due(4));
+        assert!(ck.due(9));
+        assert!(!ck.due(5));
+        assert!(Checkpointer::checkpoint_every(0, &dir).is_err());
+    }
+
+    #[test]
+    fn corrupt_input_reports_field() {
+        let v = serde_json::json!({ "counter": 1u64 });
+        let err = NodeRng::load(&v).unwrap_err();
+        assert!(err.to_string().contains("key"), "got: {err}");
+    }
+}

@@ -483,6 +483,168 @@ impl<P: Protocol> Network<P> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+use crate::checkpoint::{
+    field, get_array, get_bool, get_str, get_u64, missing, write_value_atomic, Checkpoint,
+    CkptError, CkptResult,
+};
+use serde_json::Value;
+
+fn par_mode_name(mode: ParMode) -> &'static str {
+    match mode {
+        ParMode::Auto => "auto",
+        ParMode::Serial => "serial",
+        ParMode::Parallel => "parallel",
+    }
+}
+
+fn par_mode_from(name: &str) -> CkptResult<ParMode> {
+    match name {
+        "auto" => Ok(ParMode::Auto),
+        "serial" => Ok(ParMode::Serial),
+        "parallel" => Ok(ParMode::Parallel),
+        other => Err(CkptError::Corrupt(format!("unknown par mode `{other}`"))),
+    }
+}
+
+impl<P> Network<P>
+where
+    P: Protocol + Checkpoint,
+    P::Msg: Checkpoint,
+{
+    /// Serialize the complete dynamic state of the network: round counter,
+    /// every node's protocol state and RNG position (preserving the exact
+    /// slot layout, which delivery order depends on), in-flight and delayed
+    /// messages in their queue order, the previous block set, and the fault
+    /// model including its RNG position. The engine's own round digest is
+    /// stamped into the value; [`Self::from_state`] verifies it after
+    /// restoring, so a corrupt or hand-edited checkpoint is rejected
+    /// instead of silently diverging.
+    ///
+    /// Observability state (trace events, comm statistics) is *not*
+    /// checkpointed: it never feeds back into execution, so a resumed run
+    /// restarts those collectors empty while its digest stream continues
+    /// bit-for-bit.
+    pub fn save_state(&self) -> Value {
+        let slots: Vec<Value> = self
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                None => Value::Null,
+                Some(s) => serde_json::json!({
+                    "id": s.id.raw(),
+                    "rng": s.rng.save(),
+                    "proto": s.proto.save(),
+                    "inbox": crate::checkpoint::save_slice(&s.inbox),
+                    "outbox": crate::checkpoint::save_slice(&s.outbox),
+                }),
+            })
+            .collect();
+        let delayed: Vec<Value> = self
+            .delayed
+            .iter()
+            .map(|(due, env)| serde_json::json!({ "due": *due, "env": env.save() }))
+            .collect();
+        serde_json::json!({
+            "format": "simnet-network-checkpoint",
+            "version": 1u64,
+            "master_seed": self.master_seed,
+            "round": self.round,
+            "slots": Value::Array(slots),
+            "free": self.free.iter().map(|&i| i as u64).collect::<Vec<u64>>(),
+            "in_flight": crate::checkpoint::save_slice(&self.in_flight),
+            "delayed": Value::Array(delayed),
+            "prev_blocked": self.prev_blocked.save(),
+            "faults": self.faults.save(),
+            "par_mode": par_mode_name(self.par_mode),
+            "digests_enabled": self.digests_enabled,
+            "digest_stamp": self.round_digest(),
+        })
+    }
+
+    /// Rebuild a network from [`Self::save_state`] output. The restored
+    /// instance continues the original run exactly: stepping it produces
+    /// the same round-digest stream as the uninterrupted original.
+    pub fn from_state(v: &Value) -> CkptResult<Self> {
+        match get_str(v, "format") {
+            Ok("simnet-network-checkpoint") => {}
+            Ok(other) => {
+                return Err(CkptError::Corrupt(format!("not a network checkpoint: `{other}`")))
+            }
+            Err(e) => return Err(e),
+        }
+        let mut slots: Vec<Option<Slot<P>>> = Vec::new();
+        let mut index = HashMap::new();
+        for (i, slot) in get_array(v, "slots")?.iter().enumerate() {
+            match slot {
+                Value::Null => slots.push(None),
+                s => {
+                    let id = NodeId(get_u64(s, "id")?);
+                    index.insert(id, i);
+                    slots.push(Some(Slot {
+                        id,
+                        proto: P::load(field(s, "proto")?)?,
+                        rng: crate::rng::NodeRng::load(field(s, "rng")?)?,
+                        inbox: crate::checkpoint::get_vec(s, "inbox")?,
+                        outbox: crate::checkpoint::get_vec(s, "outbox")?,
+                    }));
+                }
+            }
+        }
+        let free = get_array(v, "free")?
+            .iter()
+            .map(|x| x.as_u64().map(|i| i as usize).ok_or_else(|| missing("free index")))
+            .collect::<CkptResult<Vec<usize>>>()?;
+        let mut delayed = Vec::new();
+        for entry in get_array(v, "delayed")? {
+            delayed.push((get_u64(entry, "due")?, Envelope::load(field(entry, "env")?)?));
+        }
+        let slot_count = slots.len();
+        let net = Self {
+            master_seed: get_u64(v, "master_seed")?,
+            round: get_u64(v, "round")?,
+            slots,
+            free,
+            index,
+            in_flight: crate::checkpoint::get_vec(v, "in_flight")?,
+            delayed,
+            prev_blocked: BlockSet::load(field(v, "prev_blocked")?)?,
+            faults: FaultModel::load(field(v, "faults")?)?,
+            acc: WorkAccumulator::default(),
+            stats: CommStats::new(),
+            trace: Trace::counters_only(),
+            par_mode: par_mode_from(get_str(v, "par_mode")?)?,
+            digests_enabled: get_bool(v, "digests_enabled")?,
+        };
+        for (id, &idx) in &net.index {
+            if idx >= slot_count {
+                return Err(CkptError::Corrupt(format!("slot index {idx} for node {id}")));
+            }
+        }
+        let stamped = get_u64(v, "digest_stamp")?;
+        let restored = net.round_digest();
+        if restored != stamped {
+            return Err(CkptError::DigestMismatch { stamped, restored });
+        }
+        Ok(net)
+    }
+
+    /// Write a crash-consistent checkpoint file (see
+    /// [`crate::checkpoint::write_value_atomic`]).
+    pub fn checkpoint_to(&self, path: &std::path::Path) -> CkptResult<()> {
+        write_value_atomic(path, &self.save_state())
+    }
+
+    /// Resume a network from a checkpoint file written by
+    /// [`Self::checkpoint_to`] (or a [`crate::Checkpointer`]).
+    pub fn resume_from(path: &std::path::Path) -> CkptResult<Self> {
+        Self::from_state(&crate::checkpoint::read_value(path)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -945,6 +1107,107 @@ mod tests {
             net.trace().digests().to_vec()
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    // -- checkpointing ------------------------------------------------------
+
+    impl Checkpoint for Relay {
+        fn save(&self) -> Value {
+            serde_json::json!({
+                "next": self.next.raw(),
+                "received": self.received,
+                "fire": self.fire,
+            })
+        }
+
+        fn load(v: &Value) -> CkptResult<Self> {
+            Ok(Self {
+                next: NodeId(get_u64(v, "next")?),
+                received: get_u64(v, "received")?,
+                fire: get_bool(v, "fire")?,
+            })
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_digest_stream() {
+        // Uninterrupted reference run.
+        let mut reference = ring(8, 4242);
+        reference.enable_digests();
+        reference.run(20);
+        let want = reference.trace().digests().to_vec();
+
+        // Same run, checkpointed at round 9 and resumed from the snapshot.
+        let mut first = ring(8, 4242);
+        first.enable_digests();
+        first.run(9);
+        let snapshot = first.save_state();
+        let mut resumed = Network::<Relay>::from_state(&snapshot).unwrap();
+        resumed.run(11);
+        let got = resumed.trace().digests().to_vec();
+        assert_eq!(got, want[9..], "resumed digest stream must match the tail");
+    }
+
+    #[test]
+    fn checkpoint_resume_with_faults_and_holes() {
+        // Exercise the hard state: link-fault RNG mid-stream, delayed
+        // messages in flight, a removed slot (hole + free list), and a
+        // crash-recovery window spanning the checkpoint.
+        let build = || {
+            let mut net = ring(6, 99);
+            net.set_fault_model(
+                FaultModel::new(17)
+                    .with_link(LinkFaults {
+                        drop_prob: 0.15,
+                        dup_prob: 0.1,
+                        delay_prob: 0.25,
+                        max_delay: 4,
+                    })
+                    .with_node_fault(NodeId(4), NodeFault::CrashRecover { at: 6, down_for: 5 }),
+            );
+            net.enable_digests();
+            net
+        };
+        let mut reference = build();
+        reference.remove_node(NodeId(5));
+        reference.run(24);
+        let want = reference.trace().digests().to_vec();
+
+        let mut first = build();
+        first.remove_node(NodeId(5));
+        first.run(8); // node 4 is mid-crash, delays likely pending
+        let mut resumed = Network::<Relay>::from_state(&first.save_state()).unwrap();
+        resumed.run(16);
+        assert_eq!(resumed.trace().digests().to_vec(), want[8..]);
+    }
+
+    #[test]
+    fn checkpoint_rejects_tampering() {
+        let mut net = ring(4, 7);
+        net.run(3);
+        let mut state = net.save_state();
+        if let Value::Object(m) = &mut state {
+            m.insert("round".into(), Value::from(99u64));
+        }
+        match Network::<Relay>::from_state(&state) {
+            Err(CkptError::DigestMismatch { .. }) => {}
+            Err(other) => panic!("wrong error for tampered checkpoint: {other}"),
+            Ok(_) => panic!("tampered checkpoint must fail the digest stamp"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_file_round_trip() {
+        let dir = std::env::temp_dir().join("simnet-engine-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.json");
+        let mut net = ring(5, 31);
+        net.run(4);
+        net.checkpoint_to(&path).unwrap();
+        let resumed = Network::<Relay>::resume_from(&path).unwrap();
+        assert_eq!(resumed.round(), 4);
+        assert_eq!(resumed.round_digest(), net.round_digest());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -345,6 +345,149 @@ impl FaultModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+use crate::checkpoint::{
+    f64_bits, field, get_f64_bits, get_str, get_u64, missing, Checkpoint, CkptResult,
+};
+use serde_json::Value;
+
+impl Checkpoint for BlockSet {
+    fn save(&self) -> Value {
+        Value::Array(self.blocked.iter().map(|v| Value::from(v.raw())).collect())
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        let ids = v.as_array().ok_or_else(|| missing("block set"))?;
+        let blocked = ids
+            .iter()
+            .map(|x| x.as_u64().map(NodeId).ok_or_else(|| missing("block set id")))
+            .collect::<CkptResult<BTreeSet<NodeId>>>()?;
+        Ok(Self { blocked })
+    }
+}
+
+impl Checkpoint for LinkFaults {
+    fn save(&self) -> Value {
+        serde_json::json!({
+            "drop_bits": f64_bits(self.drop_prob),
+            "dup_bits": f64_bits(self.dup_prob),
+            "delay_bits": f64_bits(self.delay_prob),
+            "max_delay": self.max_delay,
+        })
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        Ok(Self {
+            drop_prob: get_f64_bits(v, "drop_bits")?,
+            dup_prob: get_f64_bits(v, "dup_bits")?,
+            delay_prob: get_f64_bits(v, "delay_bits")?,
+            max_delay: get_u64(v, "max_delay")?,
+        })
+    }
+}
+
+impl Checkpoint for NodeFault {
+    fn save(&self) -> Value {
+        match *self {
+            NodeFault::CrashStop { at } => serde_json::json!({ "kind": "stop", "at": at }),
+            NodeFault::CrashRecover { at, down_for } => {
+                serde_json::json!({ "kind": "recover", "at": at, "down_for": down_for })
+            }
+        }
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        match get_str(v, "kind")? {
+            "stop" => Ok(NodeFault::CrashStop { at: get_u64(v, "at")? }),
+            "recover" => Ok(NodeFault::CrashRecover {
+                at: get_u64(v, "at")?,
+                down_for: get_u64(v, "down_for")?,
+            }),
+            other => Err(crate::checkpoint::CkptError::Corrupt(format!(
+                "unknown node-fault kind `{other}`"
+            ))),
+        }
+    }
+}
+
+impl Checkpoint for Partition {
+    fn save(&self) -> Value {
+        serde_json::json!({
+            "side": Value::Array(self.side.iter().map(|v| Value::from(v.raw())).collect()),
+            "from": self.from,
+            "until": self.until,
+        })
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        let side = crate::checkpoint::get_array(v, "side")?
+            .iter()
+            .map(|x| x.as_u64().map(NodeId).ok_or_else(|| missing("side id")))
+            .collect::<CkptResult<BTreeSet<NodeId>>>()?;
+        Ok(Self { side, from: get_u64(v, "from")?, until: get_u64(v, "until")? })
+    }
+}
+
+impl Checkpoint for FaultModel {
+    fn save(&self) -> Value {
+        serde_json::json!({
+            "link": self.link.save(),
+            "node_faults": Value::Array(
+                self.node_faults
+                    .iter()
+                    .map(|(&v, f)| serde_json::json!({ "node": v.raw(), "fault": f.save() }))
+                    .collect(),
+            ),
+            "partition": match &self.partition {
+                Some(p) => p.save(),
+                None => Value::Null,
+            },
+            "rng": self.rng.save(),
+        })
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        let mut node_faults = BTreeMap::new();
+        for entry in crate::checkpoint::get_array(v, "node_faults")? {
+            let node = NodeId(get_u64(entry, "node")?);
+            node_faults.insert(node, NodeFault::load(field(entry, "fault")?)?);
+        }
+        let partition = match field(v, "partition")? {
+            Value::Null => None,
+            p => Some(Partition::load(p)?),
+        };
+        Ok(Self {
+            link: LinkFaults::load(field(v, "link")?)?,
+            node_faults,
+            partition,
+            rng: NodeRng::load(field(v, "rng")?)?,
+        })
+    }
+}
+
+impl<M: Checkpoint> Checkpoint for crate::message::Envelope<M> {
+    fn save(&self) -> Value {
+        serde_json::json!({
+            "from": self.from.raw(),
+            "to": self.to.raw(),
+            "sent_round": self.sent_round,
+            "msg": self.msg.save(),
+        })
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        Ok(Self {
+            from: NodeId(get_u64(v, "from")?),
+            to: NodeId(get_u64(v, "to")?),
+            sent_round: get_u64(v, "sent_round")?,
+            msg: M::load(field(v, "msg")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

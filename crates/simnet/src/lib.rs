@@ -64,21 +64,25 @@
 //! ```
 
 pub mod accounting;
+pub mod checkpoint;
 pub mod digest;
 pub mod engine;
 pub mod fault;
 pub mod id;
 pub mod message;
+pub mod observer;
 pub mod protocol;
 pub mod rng;
 pub mod trace;
 
 pub use accounting::{CommStats, RoundWork};
+pub use checkpoint::{Checkpoint, Checkpointer, CkptError, CkptResult};
 pub use digest::{Digest, RoundDigest, RunManifest};
 pub use engine::{Network, ParMode, PAR_THRESHOLD};
 pub use fault::{BlockSet, FaultModel, LinkFate, LinkFaults, NodeFault, Partition};
 pub use id::NodeId;
 pub use message::{Envelope, Payload};
+pub use observer::{AdaptiveAdversary, ObserverView, ViewBuffer};
 pub use protocol::{Ctx, Protocol};
 pub use rng::{stream, NodeRng};
 pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,188 @@
+//! The adaptive adversary's window into the network.
+//!
+//! The paper's adversary (Section 1.1) is *adaptive*: it sees the topology
+//! and picks each round's block set reactively, but its information is
+//! `t`-late — it acts on a snapshot at least `lateness` rounds old. An
+//! [`ObserverView`] is one such read-only snapshot; a [`ViewBuffer`]
+//! enforces the lateness by only releasing views whose round is old
+//! enough. Strategies implement [`AdaptiveAdversary`] and never see
+//! anything fresher than the buffer releases.
+
+use crate::fault::BlockSet;
+use crate::NodeId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A read-only topology snapshot offered to an adaptive adversary:
+/// membership, overlay edges, group structure, per-node degree and load,
+/// the adversary's own recent block sets, and which nodes (re)joined at
+/// this view's round. Everything is plain data — a strategy cannot mutate
+/// the network through it.
+#[derive(Clone, Debug, Default)]
+pub struct ObserverView {
+    /// Round the snapshot was taken.
+    pub round: u64,
+    /// Current members, ascending.
+    pub nodes: Vec<NodeId>,
+    /// Undirected overlay edges (deduplicated, canonical order).
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Group decomposition, if the overlay has one (else empty).
+    pub groups: Vec<Vec<NodeId>>,
+    /// Inter-group adjacency as indices into `groups`.
+    pub group_edges: Vec<(usize, usize)>,
+    /// Nodes absent in the previous view that are present now — fresh
+    /// joins and heal-layer rejoins, exactly what a "follow the healer"
+    /// strategy hunts.
+    pub rejoined: Vec<NodeId>,
+    /// The block sets this adversary previously issued, most recent last
+    /// (bounded history).
+    pub blocked_history: Vec<(u64, BlockSet)>,
+}
+
+impl ObserverView {
+    /// Build a view from membership and edges; derives nothing else.
+    pub fn new(round: u64, mut nodes: Vec<NodeId>, edges: Vec<(NodeId, NodeId)>) -> Self {
+        nodes.sort_unstable();
+        nodes.dedup();
+        Self { round, nodes, edges, ..Self::default() }
+    }
+
+    /// Per-node degree under `edges` (nodes without edges count 0).
+    pub fn degrees(&self) -> BTreeMap<NodeId, usize> {
+        let mut deg: BTreeMap<NodeId, usize> = self.nodes.iter().map(|&v| (v, 0)).collect();
+        for &(a, b) in &self.edges {
+            if let Some(d) = deg.get_mut(&a) {
+                *d += 1;
+            }
+            if let Some(d) = deg.get_mut(&b) {
+                *d += 1;
+            }
+        }
+        deg
+    }
+
+    /// Adjacency lists under `edges`, members only.
+    pub fn adjacency(&self) -> BTreeMap<NodeId, Vec<NodeId>> {
+        let mut adj: BTreeMap<NodeId, Vec<NodeId>> =
+            self.nodes.iter().map(|&v| (v, Vec::new())).collect();
+        for &(a, b) in &self.edges {
+            if adj.contains_key(&a) && adj.contains_key(&b) {
+                adj.get_mut(&a).expect("present").push(b);
+                adj.get_mut(&b).expect("present").push(a);
+            }
+        }
+        adj
+    }
+}
+
+/// An adversary that reacts to [`ObserverView`]s.
+///
+/// `pick` is called once per round with the freshest view the lateness
+/// rule permits and the exact node budget for this round; implementations
+/// return the nodes to block. The harness — not the strategy — is
+/// responsible for clamping over-budget answers, so a buggy strategy can
+/// never exceed the model's power.
+pub trait AdaptiveAdversary {
+    /// Stable strategy name (used in experiment tables and repro files).
+    fn name(&self) -> &'static str;
+
+    /// Choose this round's block set, at most `budget` nodes.
+    fn pick(&mut self, view: &ObserverView, budget: usize) -> BlockSet;
+}
+
+/// Enforces the `t`-late information rule: snapshots pushed each round are
+/// only released once they are at least `lateness` rounds old. With
+/// `lateness == 0` the adversary is fully current (beyond the paper's
+/// model — useful as an upper bound on attack power).
+#[derive(Clone, Debug)]
+pub struct ViewBuffer {
+    lateness: u64,
+    views: VecDeque<ObserverView>,
+    /// Capacity bound on retained released views.
+    keep: usize,
+}
+
+impl ViewBuffer {
+    /// A buffer releasing views `lateness` rounds late.
+    pub fn new(lateness: u64) -> Self {
+        Self { lateness, views: VecDeque::new(), keep: 64 }
+    }
+
+    /// The configured lateness.
+    pub fn lateness(&self) -> u64 {
+        self.lateness
+    }
+
+    /// Record the snapshot for its own round.
+    pub fn push(&mut self, view: ObserverView) {
+        debug_assert!(
+            self.views.back().is_none_or(|b| b.round <= view.round),
+            "views must be pushed in round order"
+        );
+        self.views.push_back(view);
+        while self.views.len() > self.keep.max(self.lateness as usize + 2) {
+            self.views.pop_front();
+        }
+    }
+
+    /// The freshest view visible at `current_round`, i.e. the newest
+    /// snapshot with `round + lateness <= current_round`. `None` until the
+    /// first snapshot ages past the lateness bound.
+    pub fn visible(&self, current_round: u64) -> Option<&ObserverView> {
+        self.views
+            .iter()
+            .rev()
+            .find(|v| v.round.checked_add(self.lateness).is_some_and(|r| r <= current_round))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(round: u64, n: u64) -> ObserverView {
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let edges = (0..n).map(|i| (NodeId(i), NodeId((i + 1) % n))).collect();
+        ObserverView::new(round, nodes, edges)
+    }
+
+    #[test]
+    fn degrees_and_adjacency_on_a_ring() {
+        let v = view(0, 5);
+        let deg = v.degrees();
+        assert!(deg.values().all(|&d| d == 2));
+        let adj = v.adjacency();
+        assert_eq!(adj[&NodeId(0)].len(), 2);
+    }
+
+    #[test]
+    fn buffer_enforces_lateness() {
+        let mut buf = ViewBuffer::new(4);
+        for r in 0..10 {
+            buf.push(view(r, 3));
+        }
+        // At round 10, the freshest permissible snapshot is round 6.
+        assert_eq!(buf.visible(10).unwrap().round, 6);
+        // Early rounds: nothing old enough yet.
+        let mut fresh = ViewBuffer::new(4);
+        fresh.push(view(0, 3));
+        assert!(fresh.visible(3).is_none());
+        assert_eq!(fresh.visible(4).unwrap().round, 0);
+    }
+
+    #[test]
+    fn zero_lateness_sees_current_round() {
+        let mut buf = ViewBuffer::new(0);
+        buf.push(view(7, 3));
+        assert_eq!(buf.visible(7).unwrap().round, 7);
+    }
+
+    #[test]
+    fn buffer_is_bounded() {
+        let mut buf = ViewBuffer::new(1);
+        for r in 0..1000 {
+            buf.push(view(r, 2));
+        }
+        assert!(buf.views.len() <= 66);
+        assert_eq!(buf.visible(1000).unwrap().round, 999);
+    }
+}

@@ -34,3 +34,17 @@ golden:
 fuzz cases="100":
     FUZZ_CASES={{cases}} cargo test -q -p integration-tests --test fault_fuzz
     FUZZ_CASES={{cases}} cargo test -q -p integration-tests --test fault_injection
+    FUZZ_CASES={{cases}} cargo test -q -p integration-tests --test shrink_fuzz
+
+# Checkpoint/resume digest identity: kill + resume == uninterrupted run.
+checkpoint:
+    cargo test -q -p integration-tests --test checkpoint_resume
+
+# A6 adaptive-vs-oblivious survival boundary; `just a6 --smoke` for the PR gate.
+a6 *flags="":
+    cargo run --release -p reconfig-bench --bin exp_a6_adaptive_adversary -- {{flags}}
+
+# Checkpointed adversarial soak; pass soak flags through, e.g.
+# `just soak --family dos --epochs 200 --dir soak-out [--resume]`.
+soak *flags="":
+    cargo run --release -p reconfig-bench --bin soak -- {{flags}}

@@ -28,6 +28,9 @@ cargo test --workspace -q
 echo "==> determinism harness"
 cargo test -q -p integration-tests --test determinism
 
+echo "==> checkpoint/resume digest identity"
+cargo test -q -p integration-tests --test checkpoint_resume
+
 echo "==> golden digests unchanged"
 git diff --exit-code -- tests/golden/
 
@@ -36,5 +39,11 @@ FUZZ_CASES="${FUZZ_CASES:-100}" cargo test -q -p integration-tests --test fault_
 
 echo "==> fault-injection + self-healing sweep (FUZZ_CASES=${FUZZ_CASES:-100})"
 FUZZ_CASES="${FUZZ_CASES:-100}" cargo test -q -p integration-tests --test fault_injection
+
+echo "==> shrinker fuzzing (FUZZ_CASES=${FUZZ_CASES:-100})"
+FUZZ_CASES="${FUZZ_CASES:-100}" cargo test -q -p integration-tests --test shrink_fuzz
+
+echo "==> adaptive-adversary boundary (A6 smoke sweep)"
+cargo run -q --release -p reconfig-bench --bin exp_a6_adaptive_adversary -- --smoke
 
 echo "CI gate passed."

@@ -27,9 +27,12 @@ use reconfig_core::reconfig::ExpanderOverlay;
 use simnet::{BlockSet, Ctx, Network, NodeId, Protocol, TraceEvent};
 use std::collections::HashMap;
 
-/// Schedules per overlay family; `FUZZ_CASES` overrides the default 100.
+/// Schedules per overlay family; `FUZZ_CASES` overrides the default 100
+/// (validated and clamped into [1, 100_000] — garbage aborts with a
+/// message naming the variable instead of silently falling back).
 fn fuzz_cases() -> u64 {
-    std::env::var("FUZZ_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(100)
+    overlay_adversary::knobs::env_usize_knob("FUZZ_CASES", 100, 1, 100_000)
+        .unwrap_or_else(|e| panic!("{e}")) as u64
 }
 
 #[test]

@@ -29,9 +29,12 @@ use reconfig_core::reconfig::ExpanderOverlay;
 use reconfig_core::sampling::run_alg1_digested;
 use simnet::{BlockSet, Ctx, FaultModel, LinkFaults, Network, NodeFault, NodeId, Protocol};
 
-/// Schedules per overlay family; `FUZZ_CASES` overrides the default 100.
+/// Schedules per overlay family; `FUZZ_CASES` overrides the default 100
+/// (validated and clamped into [1, 100_000] — garbage aborts with a
+/// message naming the variable instead of silently falling back).
 fn fuzz_cases() -> u64 {
-    std::env::var("FUZZ_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(100)
+    overlay_adversary::knobs::env_usize_knob("FUZZ_CASES", 100, 1, 100_000)
+        .unwrap_or_else(|e| panic!("{e}")) as u64
 }
 
 // ---------------------------------------------------------------------------
@@ -204,7 +207,7 @@ fn healed_churndos_run(plan: &FaultPlan) -> FaultyRunner<ChurnDosOverlay> {
     let mut churn = plan.churn_schedule(1_000_000);
     let mut churn_rng = simnet::rng::stream(plan.seed, 6, 6);
     for _ in 0..plan.epochs {
-        let members = reconfig_core::healing::Healable::members_sorted(&runner.overlay);
+        let members = reconfig_core::healing::HealableOverlay::members_sorted(&runner.overlay);
         let ev = churn.next(&members, &mut churn_rng);
         runner.overlay.apply_churn(&ev);
         runner.run(&mut adv, epoch_len);
