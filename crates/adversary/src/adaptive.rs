@@ -39,6 +39,7 @@ use overlay_graphs::{sparsest_vertex_cut, Adjacency};
 use simnet::observer::{AdaptiveAdversary, ObserverView, ViewBuffer};
 use simnet::{BlockSet, NodeId};
 use std::collections::{BTreeSet, VecDeque};
+use telemetry::{EventKind, Telemetry};
 
 /// Round-stepped adversary interface: the runner shows the adversary the
 /// current topology every round (lateness is the adversary's own
@@ -425,6 +426,9 @@ pub struct AdaptiveHarness<S> {
     /// Full emission record `(round, blocked)` when recording.
     trace: Vec<(u64, BlockSet)>,
     record: bool,
+    /// Pure observability: budget spend and strategy choices mirror into
+    /// it; the strategy never sees or branches on the recorder.
+    tel: Telemetry,
 }
 
 /// How many of its own past block sets the strategy gets to see.
@@ -442,12 +446,23 @@ impl<S: AdaptiveAdversary> AdaptiveHarness<S> {
             history: VecDeque::new(),
             trace: Vec::new(),
             record: false,
+            tel: Telemetry::disabled(),
         }
     }
 
     /// Record every emitted block set (for the shrinker / repro files).
     pub fn recording(mut self) -> Self {
         self.record = true;
+        self
+    }
+
+    /// Attach a telemetry recorder (builder-style): every emission records
+    /// its budget spend (`adv.blocked` counter + histogram and a
+    /// [`EventKind::BudgetSpend`] event) and the strategy identity
+    /// ([`EventKind::StrategyChoice`], once per label).
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        tel.emit(0, EventKind::StrategyChoice, None, 0, || self.strategy.name().to_string());
+        self.tel = tel;
         self
     }
 
@@ -512,6 +527,16 @@ impl<S: AdaptiveAdversary> Attacker for AdaptiveHarness<S> {
         }
         if self.record {
             self.trace.push((round, blocked.clone()));
+        }
+        if self.tel.enabled() {
+            let name = self.strategy.name();
+            let spent = blocked.len() as u64;
+            self.tel.counter("adv.rounds", &[("strategy", name)]).inc();
+            self.tel.counter("adv.blocked", &[("strategy", name)]).add(spent);
+            self.tel.histogram("adv.spend", &[("strategy", name)]).record(spent);
+            self.tel.emit(round, EventKind::BudgetSpend, None, spent, || {
+                format!("{name} blocked {spent} of budget {budget}")
+            });
         }
         blocked
     }
@@ -656,5 +681,26 @@ mod tests {
         }
         assert_eq!(h.trace().len(), 5);
         assert!(h.trace().iter().all(|(_, b)| b.len() <= 2));
+    }
+
+    #[test]
+    fn telemetry_tracks_budget_spend_per_strategy() {
+        let tel = Telemetry::new(telemetry::Config::default());
+        let mut h = AdaptiveHarness::new(HighDegreeAttack, 0.2, 0).with_telemetry(tel.clone());
+        let mut total = 0;
+        for r in 0..5 {
+            h.observe(line_snapshot(r, 10));
+            total += h.block(r, 10).len() as u64;
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("adv.rounds{strategy=adaptive:high-degree}"), 5);
+        assert_eq!(snap.counter("adv.blocked{strategy=adaptive:high-degree}"), total);
+        assert!(total > 0, "budget 0.2 of 10 must block someone");
+        let spend =
+            snap.histogram("adv.spend{strategy=adaptive:high-degree}").expect("spend histogram");
+        assert_eq!(spend.count, 5);
+        let (events, _) = tel.events();
+        assert!(events.iter().any(|e| e.kind == EventKind::StrategyChoice));
+        assert_eq!(events.iter().filter(|e| e.kind == EventKind::BudgetSpend).count(), 5);
     }
 }

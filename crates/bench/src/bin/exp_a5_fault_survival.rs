@@ -17,10 +17,11 @@
 
 use overlay_adversary::dos::{DosAdversary, DosStrategy};
 use overlay_adversary::faults::FaultSchedule;
-use reconfig_bench::{write_json, ExperimentResult, Table};
+use reconfig_bench::{experiment_telemetry, write_json, write_telemetry, ExperimentResult, Table};
 use reconfig_core::dos::{DosOverlay, DosParams};
 use reconfig_core::healing::{FaultyRunner, HealingParams};
 use reconfig_core::monitor::Invariant;
+use telemetry::Telemetry;
 
 struct Cell {
     survived: bool,
@@ -31,11 +32,14 @@ struct Cell {
     first: String,
 }
 
-fn run_cell(loss: f64, hazard: f64, healing: bool) -> Cell {
+fn run_cell(loss: f64, hazard: f64, healing: bool, tel: &Telemetry) -> Cell {
     let n = 512usize;
     let epochs = 8u64;
-    let ov = DosOverlay::new(n, DosParams::default(), 0xA5);
+    let mut ov = DosOverlay::new(n, DosParams::default(), 0xA5);
     let epoch_len = ov.epoch_len();
+    let arm = if healing { "healed" } else { "control" };
+    let cell_tel = tel.with_labels(&[("arm", arm)]);
+    ov.set_telemetry(cell_tel.clone());
     // Crash-recovery after two epochs; the crashed fraction is capped at
     // 10% of the population, the paper-legal DoS budget stays at 0.3.
     let schedule = FaultSchedule::new(
@@ -45,8 +49,9 @@ fn run_cell(loss: f64, hazard: f64, healing: bool) -> Cell {
         Some(2 * epoch_len),
         0.1,
     );
-    let mut runner =
-        FaultyRunner::new(ov, schedule, HealingParams::default(), healing).with_dos_bound(0.3);
+    let mut runner = FaultyRunner::new(ov, schedule, HealingParams::default(), healing)
+        .with_dos_bound(0.3)
+        .with_telemetry(cell_tel);
     let mut adv = DosAdversary::new(DosStrategy::Random, 0.3, 2 * epoch_len, 0xA5 + 1);
     runner.run(&mut adv, epochs * epoch_len);
     let m = &runner.monitor;
@@ -68,6 +73,7 @@ fn run_cell(loss: f64, hazard: f64, healing: bool) -> Cell {
 }
 
 fn main() {
+    let tel = experiment_telemetry();
     let losses = [0.0, 0.1, 0.2, 0.3, 0.45];
     let hazards = [0.0, 0.002, 0.005];
     let mut table = Table::new(
@@ -86,8 +92,8 @@ fn main() {
     let mut crossover: Option<(f64, f64)> = None;
     for &loss in &losses {
         for &hazard in &hazards {
-            let healed = run_cell(loss, hazard, true);
-            let control = run_cell(loss, hazard, false);
+            let healed = run_cell(loss, hazard, true, &tel);
+            let control = run_cell(loss, hazard, false, &tel);
             let verdict = |c: &Cell| if c.survived { "survives" } else { "FAILS" };
             if healed.survived && !control.survived && crossover.is_none() {
                 crossover = Some((loss, hazard));
@@ -133,4 +139,9 @@ fn main() {
     };
     let path = write_json(&result).expect("write results");
     println!("json: {}", path.display());
+    if let Some(tpath) =
+        write_telemetry("A5", &tel, &[("claim", "beyond-model extension")]).expect("telemetry")
+    {
+        println!("telemetry: {}", tpath.display());
+    }
 }

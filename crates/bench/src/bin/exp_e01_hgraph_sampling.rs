@@ -10,12 +10,15 @@ use overlay_graphs::HGraph;
 use overlay_stats::{fit_log, fit_loglog, tv_distance_uniform};
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use reconfig_bench::{table::f, write_json, ExperimentResult, Table};
+use reconfig_bench::{
+    experiment_telemetry, table::f, write_json, write_telemetry, ExperimentResult, Table,
+};
 use reconfig_core::config::SamplingParams;
-use reconfig_core::sampling::{run_alg1, run_alg1_direct};
+use reconfig_core::sampling::{run_alg1_direct_observed, run_alg1_observed};
 use simnet::NodeId;
 
 fn main() {
+    let tel = experiment_telemetry();
     let params = SamplingParams::default();
     let mut table = Table::new(
         "E1: rapid node sampling in H-graphs (Theorem 2)",
@@ -34,7 +37,7 @@ fn main() {
         // Message-level fidelity up to 2^10; direct mode above (same
         // algorithm, array execution — see DESIGN.md).
         let (mode, metrics, tv) = if exp <= 10 {
-            let (samples, m) = run_alg1(&graph, &params, 42);
+            let (samples, m) = run_alg1_observed(&graph, &params, 42, &tel);
             let mut counts = vec![0u64; n];
             for (_, s) in &samples {
                 for id in s {
@@ -43,7 +46,7 @@ fn main() {
             }
             ("msg", m, tv_distance_uniform(&counts, n))
         } else {
-            let run = run_alg1_direct(&graph, &params, 42);
+            let run = run_alg1_direct_observed(&graph, &params, 42, &tel);
             let mut counts = vec![0u64; n];
             for s in &run.samples {
                 for &id in s {
@@ -90,4 +93,8 @@ fn main() {
     };
     let path = write_json(&result).expect("write results");
     println!("json: {}", path.display());
+    if let Some(tpath) = write_telemetry("E1", &tel, &[("claim", "Theorem 2")]).expect("telemetry")
+    {
+        println!("telemetry: {}", tpath.display());
+    }
 }

@@ -6,11 +6,14 @@
 //! p-value of pooled samples stays comfortably above rejection.
 
 use overlay_stats::uniform_fit;
-use reconfig_bench::{table::f, write_json, ExperimentResult, Table};
+use reconfig_bench::{
+    experiment_telemetry, table::f, write_json, write_telemetry, ExperimentResult, Table,
+};
 use reconfig_core::config::{SamplingParams, Schedule};
-use reconfig_core::sampling::run_alg2;
+use reconfig_core::sampling::run_alg2_observed;
 
 fn main() {
+    let tel = experiment_telemetry();
     let params = SamplingParams { c: 3.0, ..SamplingParams::default() };
     let mut table = Table::new(
         "E2: rapid node sampling in hypercubes (Theorem 3)",
@@ -20,7 +23,7 @@ fn main() {
 
     // Simulated rows (full message-level protocol).
     for dim in [2u32, 4, 8] {
-        let (samples, m) = run_alg2(dim, &params, 7);
+        let (samples, m) = run_alg2_observed(dim, &params, 7, &tel);
         let n = 1usize << dim;
         let mut counts = vec![0u64; n];
         for (_, s) in &samples {
@@ -75,4 +78,8 @@ fn main() {
     };
     let path = write_json(&result).expect("write results");
     println!("json: {}", path.display());
+    if let Some(tpath) = write_telemetry("E2", &tel, &[("claim", "Theorem 3")]).expect("telemetry")
+    {
+        println!("telemetry: {}", tpath.display());
+    }
 }

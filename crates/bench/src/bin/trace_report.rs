@@ -1,0 +1,239 @@
+//! trace-report — render the telemetry captured by experiment binaries.
+//!
+//! Reads every `results/*_telemetry.json` file (or the files/directories
+//! named on the command line), and prints per run:
+//!
+//! * the top-k hottest phases from the round profiler (by wall time when
+//!   the run was captured with `TELEMETRY_TIMING=1`, by message work
+//!   otherwise),
+//! * log2-percentile estimates (p50/p90/p99/max) for every recorded
+//!   histogram, via `overlay_stats::BucketHistogram`,
+//! * an event digest (count per kind plus ring-buffer overflow).
+//!
+//! It closes with a cross-run work table — one row per experiment family —
+//! so regressions in rounds, delivered messages, or per-node bit load are
+//! visible at a glance. When `results/<id>.json` exists next to the
+//! telemetry file, the experiment title and claim are pulled from it.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace-report                  # scan results/ (or $OUT_DIR_RESULTS)
+//! trace-report results/e1_telemetry.json [more files or dirs...]
+//! trace-report --top 8         # widen the hot-phase listing
+//! ```
+
+use overlay_stats::BucketHistogram;
+use reconfig_bench::{ExperimentResult, Table};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use telemetry::RunTelemetry;
+
+struct LoadedRun {
+    path: PathBuf,
+    run: RunTelemetry,
+    /// Title/claim from the sibling `results/<id>.json`, when present.
+    result: Option<ExperimentResult>,
+}
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("OUT_DIR_RESULTS").unwrap_or_else(|_| "results".to_string()))
+}
+
+/// Collect telemetry files from the CLI arguments (files taken verbatim,
+/// directories scanned for `*_telemetry.json`); defaults to the results dir.
+fn telemetry_paths(args: &[String]) -> Vec<PathBuf> {
+    let mut paths = Vec::new();
+    let scan_dir = |dir: &Path, paths: &mut Vec<PathBuf>| {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with("_telemetry.json") {
+                paths.push(p);
+            }
+        }
+    };
+    if args.is_empty() {
+        scan_dir(&results_dir(), &mut paths);
+    } else {
+        for a in args {
+            let p = PathBuf::from(a);
+            if p.is_dir() {
+                scan_dir(&p, &mut paths);
+            } else {
+                paths.push(p);
+            }
+        }
+    }
+    paths.sort();
+    paths
+}
+
+fn load(path: &Path) -> Result<LoadedRun, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let run = RunTelemetry::from_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let result = run.meta("experiment").and_then(|id| {
+        let sibling = path.with_file_name(format!("{}.json", id.to_lowercase()));
+        let text = std::fs::read_to_string(sibling).ok()?;
+        let v = serde_json::from_str(&text).ok()?;
+        ExperimentResult::from_value(&v)
+    });
+    Ok(LoadedRun { path: path.to_path_buf(), run, result })
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn report_run(loaded: &LoadedRun, top_k: usize) {
+    let run = &loaded.run;
+    let id = run.meta("experiment").unwrap_or("?");
+    println!("== {} ({})", id, loaded.path.display());
+    if let Some(r) = &loaded.result {
+        println!("   {} — {}", r.title, r.claim);
+    }
+    for (k, v) in &run.meta {
+        if k != "experiment" {
+            println!("   {k}: {v}");
+        }
+    }
+    println!("   timing: {}", if run.timing { "on" } else { "off (work counts only)" });
+
+    // Hot phases: hottest() orders by wall time when timing was on and by
+    // message work otherwise, so the table is useful either way.
+    let hot: Vec<_> =
+        run.profile.hottest().into_iter().filter(|s| s.enters > 0).take(top_k).collect();
+    if !hot.is_empty() {
+        let mut t = Table::new(
+            format!("hot phases (top {})", hot.len()),
+            &["phase", "enters", "wall", "bits", "msgs"],
+        );
+        for s in &hot {
+            t.row(vec![
+                s.phase.name().to_string(),
+                s.enters.to_string(),
+                if run.timing { fmt_ns(s.wall_ns) } else { "-".into() },
+                s.bits.to_string(),
+                s.msgs.to_string(),
+            ]);
+        }
+        t.print();
+    }
+
+    if !run.snapshot.histograms.is_empty() {
+        let mut t = Table::new(
+            "histogram percentiles (log2 upper bounds)",
+            &["histogram", "count", "p50", "p90", "p99", "max"],
+        );
+        for (key, h) in &run.snapshot.histograms {
+            let bh = BucketHistogram::from_buckets(&h.buckets);
+            let p = |q: f64| bh.percentile(q).map_or("-".into(), |v| v.to_string());
+            t.row(vec![
+                key.clone(),
+                h.count.to_string(),
+                p(0.50),
+                p(0.90),
+                p(0.99),
+                h.max.to_string(),
+            ]);
+        }
+        t.print();
+    }
+
+    if !run.events.is_empty() || run.events_overflow > 0 {
+        let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+        for e in &run.events {
+            *by_kind.entry(e.kind.name()).or_insert(0) += 1;
+        }
+        let kinds: Vec<String> = by_kind.iter().map(|(k, c)| format!("{k}:{c}")).collect();
+        println!(
+            "   events: {} retained ({} overflowed) — {}",
+            run.events.len(),
+            run.events_overflow,
+            kinds.join(" ")
+        );
+    }
+    println!();
+}
+
+/// One row per loaded run: the headline work counters every experiment
+/// family shares, for cross-family comparison.
+fn work_table(runs: &[LoadedRun]) {
+    let mut t = Table::new(
+        "per-family work",
+        &[
+            "experiment",
+            "rounds",
+            "delivered",
+            "dropped",
+            "total bits",
+            "total msgs",
+            "max node bits",
+        ],
+    );
+    for l in runs {
+        let c = &l.run.snapshot;
+        let dropped = c
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("net.dropped"))
+            .map(|(_, v)| *v)
+            .sum::<u64>();
+        t.row(vec![
+            l.run.meta("experiment").unwrap_or("?").to_string(),
+            c.counter("net.rounds").to_string(),
+            c.counter("net.delivered").to_string(),
+            dropped.to_string(),
+            c.counter("net.total_bits").to_string(),
+            c.counter("net.total_msgs").to_string(),
+            c.gauge("net.max_node_bits").to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut top_k = 5usize;
+    if let Some(i) = args.iter().position(|a| a == "--top") {
+        args.remove(i);
+        if i < args.len() {
+            top_k = args.remove(i).parse().unwrap_or(top_k);
+        }
+    }
+    let paths = telemetry_paths(&args);
+    if paths.is_empty() {
+        eprintln!(
+            "no *_telemetry.json files found under {} — run an experiment binary first \
+             (telemetry is on by default; TELEMETRY=off disables it)",
+            results_dir().display()
+        );
+        std::process::exit(1);
+    }
+    let mut runs = Vec::new();
+    for p in &paths {
+        match load(p) {
+            Ok(l) => runs.push(l),
+            Err(e) => eprintln!("skipping {e}"),
+        }
+    }
+    if runs.is_empty() {
+        eprintln!("no readable telemetry files");
+        std::process::exit(1);
+    }
+    for l in &runs {
+        report_run(l, top_k);
+    }
+    work_table(&runs);
+}

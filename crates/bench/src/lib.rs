@@ -6,6 +6,8 @@
 
 pub mod runner;
 pub mod table;
+pub mod telemetry_out;
 
 pub use runner::{write_json, ExperimentResult};
 pub use table::Table;
+pub use telemetry_out::{experiment_telemetry, write_telemetry};

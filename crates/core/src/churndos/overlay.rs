@@ -9,6 +9,7 @@ use overlay_graphs::prefix::Label;
 use simnet::rng::NodeRng;
 use simnet::{BlockSet, NodeId};
 use std::collections::HashSet;
+use telemetry::{EventKind, Telemetry};
 
 /// Parameters of the Section 6 overlay.
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +43,9 @@ pub struct ChurnDosOverlay {
     pending_joins: Vec<(NodeId, NodeId)>,
     pending_leaves: Vec<NodeId>,
     rng: NodeRng,
+    /// Pure observability: never consulted by the protocol, excluded from
+    /// `state_digest` and from checkpoints.
+    tel: Telemetry,
 }
 
 impl ChurnDosOverlay {
@@ -72,7 +76,15 @@ impl ChurnDosOverlay {
             pending_joins: Vec::new(),
             pending_leaves: Vec::new(),
             rng,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder. Observability only — the overlay never
+    /// draws randomness or branches on the recorder, so attaching one
+    /// leaves every `state_digest` unchanged.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Rounds per epoch (`Theta(log log n)`).
@@ -132,6 +144,7 @@ impl ChurnDosOverlay {
     /// for the node becomes a no-op at the boundary.
     pub fn evict(&mut self, v: NodeId) {
         self.groups.remove(v);
+        self.tel.emit(self.round, EventKind::Eviction, Some(v.raw()), 0, String::new);
     }
 
     /// Re-admit a node after crash-recovery via the ordinary join path:
@@ -148,6 +161,7 @@ impl ChurnDosOverlay {
         let introducer =
             crate::healing::smallest_live_introducer(&members, &self.pending_leaves, v)
                 .expect("overlay has members");
+        self.tel.emit(self.round, EventKind::Rejoin, Some(v.raw()), introducer.raw(), String::new);
         self.pending_joins.push((v, introducer));
     }
 
@@ -211,10 +225,22 @@ impl ChurnDosOverlay {
             max_group_size: max_size,
         };
         self.prev_blocked = blocked.clone();
+        if self.tel.enabled() {
+            self.tel.counter("overlay.rounds", &[]).inc();
+            if !metrics.connected {
+                self.tel.counter("overlay.disconnected_rounds", &[]).inc();
+            }
+            if min_avail == 0 {
+                self.tel.counter("overlay.starved_rounds", &[]).inc();
+            }
+            self.tel.histogram("overlay.blocked", &[]).record(metrics.blocked as u64);
+            self.tel.gauge("overlay.max_group_size", &[]).record_max(max_size as u64);
+        }
 
         if self.round % self.epoch_len == 0 {
             self.epochs_done += 1;
-            if self.epoch_ok {
+            let ok = self.epoch_ok;
+            if ok {
                 self.reconfigure();
             } else {
                 self.failed_epochs += 1;
@@ -222,6 +248,14 @@ impl ChurnDosOverlay {
                 // stalled; joins also wait (monotonic membership).
             }
             self.epoch_ok = true;
+            self.tel.counter("overlay.epochs", &[]).inc();
+            if !ok {
+                self.tel.counter("overlay.failed_epochs", &[]).inc();
+            }
+            let epoch = self.epochs_done;
+            self.tel.emit(self.round, EventKind::EpochFinished, None, u64::from(ok), || {
+                format!("epoch {epoch} {}", if ok { "reconfigured" } else { "stalled" })
+            });
         }
         metrics
     }
@@ -326,15 +360,7 @@ impl ChurnDosOverlay {
             for _ in 0..self.epoch_len {
                 adversary.observe(self.snapshot(self.round));
                 let blocked = adversary.block(self.round, self.len());
-                let m = self.step(&blocked);
-                out.rounds += 1;
-                if m.connected {
-                    out.connected_rounds += 1;
-                }
-                if m.min_group_available == 0 {
-                    out.starved_rounds += 1;
-                }
-                out.per_round.push(m);
+                out.absorb(self.step(&blocked));
             }
         }
         out.epochs = self.epochs_done;
@@ -391,6 +417,7 @@ impl simnet::Checkpoint for ChurnDosOverlay {
             pending_joins,
             pending_leaves: get_vec(v, "pending_leaves")?,
             rng: NodeRng::load(field(v, "rng")?)?,
+            tel: Telemetry::disabled(),
         };
         let stamped = get_u64(v, "digest_stamp")?;
         let restored = ov.state_digest();

@@ -7,6 +7,7 @@ use overlay_adversary::adaptive::Attacker;
 use simnet::rng::NodeRng;
 use simnet::{BlockSet, NodeId};
 use std::collections::HashMap;
+use telemetry::{EventKind, Telemetry};
 
 /// Parameters of the Section 5 overlay.
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +40,10 @@ pub struct DosOverlay {
     epoch_ok: bool,
     prev_blocked: BlockSet,
     rng: NodeRng,
+    /// Attached recorder (disabled by default). Pure observability: it
+    /// never draws from `rng` and is excluded from [`Self::state_digest`]
+    /// and the checkpoint format.
+    tel: Telemetry,
 }
 
 impl DosOverlay {
@@ -66,7 +71,15 @@ impl DosOverlay {
             epoch_ok: true,
             prev_blocked: BlockSet::none(),
             rng,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder: the overlay then emits per-round
+    /// blocking/connectivity metrics, epoch events, and eviction/rejoin
+    /// events. Replay identity is untouched (see the `tel` field docs).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// The epoch length `t` in rounds — `Theta(log log n)`. An adversary
@@ -118,10 +131,14 @@ impl DosOverlay {
             max_group_size: max_size,
         };
         self.prev_blocked = blocked.clone();
+        if self.tel.enabled() {
+            self.record_round(&metrics);
+        }
 
         if self.round % self.epoch_len == 0 {
             self.epochs_done += 1;
-            if self.epoch_ok {
+            let ok = self.epoch_ok;
+            if ok {
                 // Lemma 15: fresh uniformly random assignment.
                 let nodes = self.grouped.nodes();
                 let dim = self.grouped.cube().dim();
@@ -130,8 +147,29 @@ impl DosOverlay {
                 self.failed_epochs += 1;
             }
             self.epoch_ok = true;
+            self.tel.counter("overlay.epochs", &[]).inc();
+            if !ok {
+                self.tel.counter("overlay.failed_epochs", &[]).inc();
+            }
+            let epoch = self.epochs_done;
+            self.tel.emit(self.round, EventKind::EpochFinished, None, u64::from(ok), || {
+                format!("epoch {epoch} {}", if ok { "reconfigured" } else { "failed" })
+            });
         }
         metrics
+    }
+
+    /// Record one round's observation into the attached recorder.
+    fn record_round(&self, m: &DosRoundMetrics) {
+        self.tel.counter("overlay.rounds", &[]).inc();
+        if !m.connected {
+            self.tel.counter("overlay.disconnected_rounds", &[]).inc();
+        }
+        if m.min_group_available == 0 {
+            self.tel.counter("overlay.starved_rounds", &[]).inc();
+        }
+        self.tel.histogram("overlay.blocked", &[]).record(m.blocked as u64);
+        self.tel.gauge("overlay.max_group_size", &[]).record_max(m.max_group_size as u64);
     }
 
     /// Drive the overlay against any [`Attacker`] — oblivious or adaptive —
@@ -143,15 +181,7 @@ impl DosOverlay {
         for _ in 0..rounds {
             adversary.observe(self.grouped.snapshot(self.round));
             let blocked = adversary.block(self.round, self.grouped.len());
-            let m = self.step(&blocked);
-            out.rounds += 1;
-            if m.connected {
-                out.connected_rounds += 1;
-            }
-            if m.min_group_available == 0 {
-                out.starved_rounds += 1;
-            }
-            out.per_round.push(m);
+            out.absorb(self.step(&blocked));
         }
         out.epochs = self.epochs_done;
         out
@@ -162,6 +192,7 @@ impl DosOverlay {
     /// Unknown nodes are ignored.
     pub fn evict(&mut self, v: NodeId) {
         self.grouped.remove(v);
+        self.tel.emit(self.round, EventKind::Eviction, Some(v.raw()), 0, String::new);
     }
 
     /// Re-admit a node after crash-recovery via the join path: it is
@@ -176,6 +207,7 @@ impl DosOverlay {
         }
         let x = self.rng.random_range(0..self.grouped.cube().len());
         self.grouped.insert(v, x);
+        self.tel.emit(self.round, EventKind::Rejoin, Some(v.raw()), x, String::new);
     }
 
     /// The group sizes as a map (diagnostics for Lemma 16 experiments).
@@ -270,6 +302,7 @@ impl simnet::Checkpoint for DosOverlay {
             epoch_ok: get_bool(v, "epoch_ok")?,
             prev_blocked: BlockSet::load(field(v, "prev_blocked")?)?,
             rng: NodeRng::load(field(v, "rng")?)?,
+            tel: Telemetry::disabled(),
         };
         let stamped = get_u64(v, "digest_stamp")?;
         let restored = ov.state_digest();
@@ -425,5 +458,52 @@ mod tests {
         }
         assert_eq!(ov.failed_epochs, 1);
         assert_eq!(ov.grouped().groups().to_vec(), before, "stale groups must persist");
+    }
+
+    #[test]
+    fn telemetry_attachment_never_perturbs_state_digests() {
+        use crate::healing::HealableOverlay as _;
+        let p = DosParams::default();
+        let mut plain = DosOverlay::new(256, p, 9);
+        let mut observed = DosOverlay::new(256, p, 9);
+        observed.set_telemetry(Telemetry::new(telemetry::Config::default()));
+        let mut adv_a =
+            DosAdversary::new(DosStrategy::GroupTargeted, 0.3, 2 * plain.epoch_len(), 11);
+        let mut adv_b =
+            DosAdversary::new(DosStrategy::GroupTargeted, 0.3, 2 * observed.epoch_len(), 11);
+        for _ in 0..2 * plain.epoch_len() {
+            adv_a.observe(plain.snapshot(plain.round()));
+            adv_b.observe(observed.snapshot(observed.round()));
+            let ba = adv_a.block(plain.round(), plain.len());
+            let bb = adv_b.block(observed.round(), observed.len());
+            plain.step(&ba);
+            observed.step(&bb);
+            assert_eq!(plain.state_digest(), observed.state_digest());
+        }
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_run_metrics() {
+        let p = DosParams::default();
+        let mut ov = DosOverlay::new(256, p, 10);
+        let tel = Telemetry::new(telemetry::Config::default());
+        ov.set_telemetry(tel.clone());
+        let mut adv = DosAdversary::new(DosStrategy::Random, 0.3, 2 * ov.epoch_len(), 3);
+        let run = ov.run(&mut adv, 2 * ov.epoch_len());
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("overlay.rounds"), run.rounds);
+        assert_eq!(snap.counter("overlay.starved_rounds"), run.starved_rounds);
+        assert_eq!(snap.counter("overlay.epochs"), run.epochs);
+        assert_eq!(snap.counter("overlay.failed_epochs"), ov.failed_epochs);
+        assert_eq!(
+            snap.counter("overlay.rounds") - snap.counter("overlay.disconnected_rounds"),
+            run.connected_rounds
+        );
+        let blocked = snap.histogram("overlay.blocked").expect("blocked histogram");
+        assert_eq!(blocked.count, run.rounds);
+        let epoch_events =
+            tel.events().0.iter().filter(|e| e.kind == telemetry::EventKind::EpochFinished).count()
+                as u64;
+        assert_eq!(epoch_events, run.epochs);
     }
 }

@@ -46,6 +46,7 @@ use overlay_adversary::faults::FaultSchedule;
 use overlay_adversary::lateness::TopologySnapshot;
 use simnet::{BlockSet, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
+use telemetry::{EventKind, Phase, Telemetry};
 
 /// The join path's delegate choice, shared by every overlay family: the
 /// smallest-id member that is not excluded (pending leavers, the joiner
@@ -276,6 +277,9 @@ pub struct FaultyRunner<O: HealableOverlay> {
     down: BTreeMap<NodeId, u64>,
     /// Crashed nodes whose membership was evicted while they were down.
     evicted_while_down: BTreeSet<NodeId>,
+    /// Pure observability: mirrors the healing protocol's decisions as
+    /// events and `heal.*` counters; never consulted by the protocol.
+    tel: Telemetry,
 }
 
 impl<O: HealableOverlay> FaultyRunner<O> {
@@ -298,6 +302,7 @@ impl<O: HealableOverlay> FaultyRunner<O> {
             dos_bound: None,
             down: BTreeMap::new(),
             evicted_while_down: BTreeSet::new(),
+            tel: Telemetry::disabled(),
         }
     }
 
@@ -305,6 +310,23 @@ impl<O: HealableOverlay> FaultyRunner<O> {
     pub fn with_dos_bound(mut self, bound: f64) -> Self {
         self.dos_bound = Some(bound);
         self
+    }
+
+    /// Attach a telemetry recorder (builder-style). The recorder also
+    /// propagates to the invariant monitor; attaching one never changes a
+    /// protocol decision or an overlay digest.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.monitor.set_telemetry(tel.clone());
+        self.tel = tel;
+        self
+    }
+
+    /// One healing decision: event plus a matching `heal.<what>` counter.
+    fn heal_event(&self, round: u64, kind: EventKind, what: &'static str, v: NodeId, value: u64) {
+        if self.tel.enabled() {
+            self.tel.counter("heal.events", &[("what", what)]).inc();
+            self.tel.emit(round, kind, Some(v.raw()), value, String::new);
+        }
     }
 
     /// Healing statistics accumulated so far.
@@ -332,6 +354,7 @@ impl<O: HealableOverlay> FaultyRunner<O> {
         let round = self.overlay.round(); // round about to execute
         let epochs_before = self.overlay.epochs();
         let failed_before = self.overlay.failed_epochs();
+        let healing_phase = self.tel.phase(Phase::Healing);
 
         // Crash-recoveries due this round.
         let due: Vec<NodeId> =
@@ -343,11 +366,13 @@ impl<O: HealableOverlay> FaultyRunner<O> {
                 if self.healing {
                     self.overlay.rejoin(v);
                     self.tracker.stats.rejoins += 1;
+                    self.heal_event(round, EventKind::Rejoin, "rejoin", v, 0);
                 }
             } else {
                 // Still a member, but its state is lost: it no longer
                 // knows the current group structure.
                 self.tracker.mark_desynced(v, round, self.healing);
+                self.heal_event(round, EventKind::Desync, "desync", v, 0);
             }
         }
 
@@ -361,6 +386,7 @@ impl<O: HealableOverlay> FaultyRunner<O> {
             self.tracker.stats.crashes += 1;
             // Whatever retry conversation it had is lost with its state.
             self.tracker.forget(v);
+            self.heal_event(round, EventKind::Crash, "crash", v, back);
         }
 
         if self.healing {
@@ -368,10 +394,19 @@ impl<O: HealableOverlay> FaultyRunner<O> {
             // itself subject to loss.
             for v in self.tracker.due_retries(round) {
                 let success = !self.schedule.lose_message();
-                if let RetryOutcome::Exhausted = self.tracker.note_retry(v, round, success) {
-                    self.tracker.forget(v);
-                    self.overlay.evict(v);
-                    self.tracker.stats.evictions += 1;
+                self.heal_event(round, EventKind::RetryAttempt, "retry", v, u64::from(success));
+                match self.tracker.note_retry(v, round, success) {
+                    RetryOutcome::Resynced => {
+                        self.heal_event(round, EventKind::Resync, "resync", v, 0);
+                    }
+                    RetryOutcome::Backoff => {}
+                    RetryOutcome::Exhausted => {
+                        self.tracker.forget(v);
+                        self.overlay.evict(v);
+                        self.tracker.stats.evictions += 1;
+                        self.heal_event(round, EventKind::RetryExhausted, "exhausted", v, 0);
+                        self.heal_event(round, EventKind::Eviction, "eviction", v, 0);
+                    }
                 }
             }
             // Heartbeat staleness, bumped once per epoch: from the group's
@@ -389,9 +424,11 @@ impl<O: HealableOverlay> FaultyRunner<O> {
                     if self.down.contains_key(&v) {
                         self.evicted_while_down.insert(v);
                     }
+                    self.heal_event(round, EventKind::Eviction, "eviction", v, 1);
                 }
             }
         }
+        drop(healing_phase);
 
         // Effective silence: adversary blocking plus crashed plus
         // desynchronized members.
@@ -414,10 +451,12 @@ impl<O: HealableOverlay> FaultyRunner<O> {
             for v in self.overlay.members_sorted() {
                 if !self.down.contains_key(&v) && self.schedule.lose_message() {
                     self.tracker.mark_desynced(v, m.round, self.healing);
+                    self.heal_event(m.round, EventKind::Desync, "desync", v, 1);
                 }
             }
         }
 
+        let _monitor_phase = self.tel.phase(Phase::Monitor);
         self.monitor.begin_round();
         self.monitor.check(Invariant::Connectivity, m.round, m.connected, || {
             format!("effective block set of {} silences a cut", eff.len())
@@ -869,6 +908,38 @@ mod tests {
         let n = dos.len();
         dos.rejoin(v);
         assert_eq!((dos.len(), dos.state_digest()), (n, digest));
+    }
+
+    #[test]
+    fn telemetry_mirrors_healing_stats_and_violations() {
+        let ov = DosOverlay::new(512, DosParams::default(), 2);
+        let epoch_len = ov.epoch_len();
+        let tel = Telemetry::new(telemetry::Config::default());
+        let mut runner = FaultyRunner::new(
+            ov,
+            sched(3, 0.25, 0.001, Some(2 * epoch_len)),
+            HealingParams::default(),
+            true,
+        )
+        .with_telemetry(tel.clone());
+        let mut adv = DosAdversary::new(DosStrategy::Random, 0.3, 2 * epoch_len, 5);
+        runner.run(&mut adv, 6 * epoch_len);
+        let snap = tel.snapshot();
+        let s = runner.stats();
+        assert_eq!(snap.counter("heal.events{what=retry}"), s.retries);
+        assert_eq!(snap.counter("heal.events{what=resync}"), s.resyncs);
+        assert_eq!(snap.counter("heal.events{what=crash}"), s.crashes);
+        assert!(s.retries > 0, "loss at 0.25 must trigger retries");
+        let (events, _) = tel.events();
+        let retry_events = events.iter().filter(|e| e.kind == EventKind::RetryAttempt).count();
+        assert!(retry_events > 0);
+        // The healing phase was profiled (work-free but entered each round).
+        let prof = tel.profile();
+        assert_eq!(prof.stat(Phase::Healing).enters, 6 * epoch_len);
+        assert_eq!(prof.stat(Phase::Monitor).enters, 6 * epoch_len);
+        // Violations mirror into the monitor counters 1:1.
+        assert_eq!(snap.counters.keys().filter(|k| k.starts_with("monitor.")).count(), 0);
+        assert!(runner.monitor.ok(), "{}", runner.monitor.report());
     }
 
     #[test]

@@ -81,6 +81,32 @@ pub struct DosRunMetrics {
 }
 
 impl SamplingMetrics {
+    /// Derive the communication-work fields from an engine telemetry
+    /// snapshot (the `net.max_node_bits` / `net.max_node_msgs` gauges and
+    /// `net.total_msgs` counter recorded by
+    /// [`simnet::Network::set_telemetry`]); the protocol-level fields come
+    /// from the runner. This is the single source of work numbers for all
+    /// sampling runners — they no longer hand-thread `CommStats` fields.
+    pub fn from_snapshot(
+        snap: &telemetry::Snapshot,
+        n: usize,
+        rounds: u64,
+        iterations: usize,
+        samples_per_node: usize,
+        failures: u64,
+    ) -> Self {
+        Self {
+            n,
+            rounds,
+            iterations,
+            samples_per_node,
+            failures,
+            max_node_bits: snap.gauge("net.max_node_bits"),
+            max_node_msgs: snap.gauge("net.max_node_msgs"),
+            total_msgs: snap.counter("net.total_msgs"),
+        }
+    }
+
     /// The JSON tree the experiment harness records for this run.
     pub fn to_value(&self) -> serde_json::Value {
         serde_json::json!({
@@ -111,6 +137,20 @@ impl SamplingMetrics {
 }
 
 impl DosRunMetrics {
+    /// Fold one observed round into the run totals and the per-round log.
+    /// This is the single accumulation path shared by the DoS and
+    /// churn-DoS overlay run loops.
+    pub fn absorb(&mut self, round: DosRoundMetrics) {
+        self.rounds += 1;
+        if round.connected {
+            self.connected_rounds += 1;
+        }
+        if round.min_group_available == 0 {
+            self.starved_rounds += 1;
+        }
+        self.per_round.push(round);
+    }
+
     /// Fraction of simulated rounds that stayed connected.
     pub fn connectivity_rate(&self) -> f64 {
         if self.rounds == 0 {

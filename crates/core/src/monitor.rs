@@ -10,6 +10,7 @@
 //! *what* broke, *when*, and *how*.
 
 use std::collections::BTreeMap;
+use telemetry::{EventKind, Telemetry};
 
 /// The invariants the harnesses track.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -78,6 +79,9 @@ pub struct InvariantMonitor {
     first: Option<Violation>,
     recorded: Vec<Violation>,
     rounds: u64,
+    /// Pure observability; recorded violations mirror into it as
+    /// [`EventKind::Violation`] events.
+    tel: Telemetry,
 }
 
 impl InvariantMonitor {
@@ -92,6 +96,13 @@ impl InvariantMonitor {
     pub fn with_grace(mut self, inv: Invariant, rounds: u64) -> Self {
         self.grace.insert(inv, rounds);
         self
+    }
+
+    /// Mirror recorded violations into a telemetry recorder as
+    /// [`EventKind::Violation`] events plus `monitor.violations{invariant=..}`
+    /// counters. Observability only: verdicts are unaffected.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Count a monitored round. Call once per overlay round before the
@@ -114,6 +125,9 @@ impl InvariantMonitor {
         }
         *self.counts.entry(inv).or_insert(0) += 1;
         let v = Violation { invariant: inv, round, detail: detail() };
+        self.tel.counter("monitor.violations", &[("invariant", inv.name())]).inc();
+        self.tel
+            .emit(round, EventKind::Violation, None, 0, || format!("{}: {}", inv.name(), v.detail));
         if self.first.is_none() {
             self.first = Some(v.clone());
         }

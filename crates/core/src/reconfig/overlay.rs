@@ -14,6 +14,7 @@ use crate::reconfig::epoch::{run_epoch, BridgeMode, EpochInput};
 use overlay_adversary::churn::ChurnEvent;
 use overlay_graphs::{connectivity, HGraph};
 use simnet::NodeId;
+use telemetry::{EventKind, Telemetry};
 
 /// A continuously reconfiguring H-graph overlay under churn.
 pub struct ExpanderOverlay {
@@ -28,6 +29,9 @@ pub struct ExpanderOverlay {
     pending_leaves: Vec<NodeId>,
     /// Total rounds consumed by completed epochs.
     pub total_rounds: u64,
+    /// Pure observability: never consulted by the protocol, excluded from
+    /// `state_digest` and from checkpoints.
+    tel: Telemetry,
 }
 
 impl ExpanderOverlay {
@@ -47,12 +51,19 @@ impl ExpanderOverlay {
             pending_joins: Vec::new(),
             pending_leaves: Vec::new(),
             total_rounds: 0,
+            tel: Telemetry::disabled(),
         }
     }
 
     /// Select the Phase 3 bridging mode (A1 ablation).
     pub fn set_bridge_mode(&mut self, mode: BridgeMode) {
         self.bridge = mode;
+    }
+
+    /// Attach a telemetry recorder. Observability only: attaching (or not)
+    /// never changes protocol behavior or the digest stream.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// The current topology.
@@ -118,6 +129,7 @@ impl ExpanderOverlay {
     /// uniformly random H-graph. Returns the epoch metrics.
     pub fn reconfigure(&mut self) -> ReconfigMetrics {
         self.epoch += 1;
+        let _reconfig = self.tel.phase(telemetry::Phase::Reconfig);
         let out = run_epoch(EpochInput {
             graph: &self.graph,
             leaving: std::mem::take(&mut self.pending_leaves),
@@ -128,6 +140,21 @@ impl ExpanderOverlay {
         });
         self.graph = HGraph::from_cycles(out.members.clone(), out.cycles.clone());
         self.total_rounds += out.metrics.rounds;
+        if self.tel.enabled() {
+            let m = &out.metrics;
+            self.tel.counter("overlay.epochs", &[]).inc();
+            if !m.valid {
+                self.tel.counter("overlay.failed_epochs", &[]).inc();
+            }
+            self.tel.counter("overlay.joins", &[]).add(m.joined as u64);
+            self.tel.counter("overlay.leaves", &[]).add(m.left as u64);
+            self.tel.histogram("overlay.epoch_rounds", &[]).record(m.rounds);
+            self.tel.gauge("overlay.members", &[]).set(self.graph.len() as u64);
+            let (epoch, joined, left, rounds) = (self.epoch, m.joined, m.left, m.rounds);
+            self.tel.emit(epoch, EventKind::EpochFinished, None, u64::from(m.valid), || {
+                format!("epoch {epoch}: {joined} joins, {left} leaves in {rounds} rounds")
+            });
+        }
         out.metrics
     }
 
@@ -212,6 +239,7 @@ impl simnet::Checkpoint for ExpanderOverlay {
             pending_joins,
             pending_leaves: get_vec(v, "pending_leaves")?,
             total_rounds: get_u64(v, "total_rounds")?,
+            tel: Telemetry::disabled(),
         };
         let stamped = get_u64(v, "digest_stamp")?;
         let restored = ov.state_digest();

@@ -13,6 +13,7 @@ use crate::metrics::SamplingMetrics;
 use overlay_graphs::HGraph;
 use rand::RngExt;
 use simnet::{Ctx, Network, NodeId, Payload, Protocol};
+use telemetry::{EventKind, Phase, Telemetry};
 
 /// Messages of the baseline sampler.
 #[derive(Clone, Debug)]
@@ -93,10 +94,26 @@ pub fn run_baseline(
     params: &SamplingParams,
     seed: u64,
 ) -> (Vec<(NodeId, Vec<NodeId>)>, SamplingMetrics) {
+    run_baseline_observed(graph, params, seed, &Telemetry::disabled())
+}
+
+/// [`run_baseline`] that folds the run's telemetry into `tel`.
+pub fn run_baseline_observed(
+    graph: &HGraph,
+    params: &SamplingParams,
+    seed: u64,
+    tel: &Telemetry,
+) -> (Vec<(NodeId, Vec<NodeId>)>, SamplingMetrics) {
     let n = graph.len();
     let k = params.samples_needed(n);
     let t = params.walk_length(n, graph.degree()).max(1) as u32;
+    let collector =
+        Telemetry::new(telemetry::Config { timing: tel.timing(), ..Default::default() });
+    let sampling = collector.phase(Phase::Sampling);
+    collector
+        .emit(0, EventKind::SamplingStarted, None, n as u64, || format!("baseline n={n} walk={t}"));
     let mut net: Network<BaselineNode> = Network::new(seed);
+    net.set_telemetry(collector.clone());
     for &v in graph.nodes() {
         net.add_node(v, BaselineNode::new(graph.neighbors(v), k, t));
     }
@@ -111,16 +128,17 @@ pub fn run_baseline(
         min_samples = min_samples.min(node.results.len());
         out.push((v, node.results.clone()));
     }
-    let metrics = SamplingMetrics {
+    collector.emit(rounds, EventKind::SamplingFinished, None, 0, || format!("baseline n={n}"));
+    let metrics = SamplingMetrics::from_snapshot(
+        &collector.snapshot(),
         n,
         rounds,
-        iterations: t as usize,
-        samples_per_node: min_samples,
-        failures: 0,
-        max_node_bits: net.stats().max_node_bits(),
-        max_node_msgs: net.stats().max_node_msgs(),
-        total_msgs: net.stats().total_msgs(),
-    };
+        t as usize,
+        min_samples,
+        0,
+    );
+    drop(sampling);
+    tel.absorb(&collector);
     (out, metrics)
 }
 

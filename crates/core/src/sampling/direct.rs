@@ -15,6 +15,7 @@ use overlay_graphs::HGraph;
 use rand::RngExt;
 use rayon::prelude::*;
 use simnet::rng::stream;
+use telemetry::{EventKind, Phase, Telemetry};
 
 /// Bit sizes matching [`crate::sampling::hgraph::SampleMsg`].
 const REQUEST_BITS: u64 = 8;
@@ -32,9 +33,29 @@ pub struct DirectRun {
 
 /// Run Algorithm 1 in direct mode on `graph` with dense node indices.
 pub fn run_alg1_direct(graph: &HGraph, params: &SamplingParams, seed: u64) -> DirectRun {
+    run_alg1_direct_observed(graph, params, seed, &Telemetry::disabled())
+}
+
+/// [`run_alg1_direct`] that folds the run's telemetry into `tel`. There is
+/// no simulated network here, so the analytic work accounting is recorded
+/// under the same `net.*` metric names the envelope runners use, keeping
+/// [`SamplingMetrics::from_snapshot`] the single derivation path.
+pub fn run_alg1_direct_observed(
+    graph: &HGraph,
+    params: &SamplingParams,
+    seed: u64,
+    tel: &Telemetry,
+) -> DirectRun {
     let n = graph.len();
     let d = graph.degree();
     let schedule = Schedule::algorithm1(n, d, params);
+    let collector =
+        Telemetry::new(telemetry::Config { timing: tel.timing(), ..Default::default() });
+    let sampling = collector.phase(Phase::Sampling);
+    let iterations = schedule.iterations;
+    collector.emit(0, EventKind::SamplingStarted, None, n as u64, || {
+        format!("alg1-direct n={n} T={iterations}")
+    });
 
     // Dense neighbor table: neighbors of node u at [u*d .. (u+1)*d].
     let mut dense: std::collections::HashMap<simnet::NodeId, u32> =
@@ -151,16 +172,24 @@ pub fn run_alg1_direct(graph: &HGraph, params: &SamplingParams, seed: u64) -> Di
     }
 
     let min_samples = m.iter().map(Vec::len).min().unwrap_or(0);
-    let metrics = SamplingMetrics {
+    collector.gauge("net.max_node_bits", &[]).record_max(max_node_bits);
+    collector.gauge("net.max_node_msgs", &[]).record_max(max_node_msgs);
+    collector.counter("net.total_msgs", &[]).add(total_msgs);
+    collector.add_work(Phase::Sampling, 0, total_msgs);
+    let rounds = schedule.rounds() as u64;
+    collector.emit(rounds, EventKind::SamplingFinished, None, failures, || {
+        format!("alg1-direct n={n} failures={failures}")
+    });
+    let metrics = SamplingMetrics::from_snapshot(
+        &collector.snapshot(),
         n,
-        rounds: schedule.rounds() as u64,
-        iterations: schedule.iterations,
-        samples_per_node: min_samples,
+        rounds,
+        schedule.iterations,
+        min_samples,
         failures,
-        max_node_bits,
-        max_node_msgs,
-        total_msgs,
-    };
+    );
+    drop(sampling);
+    tel.absorb(&collector);
     DirectRun { samples: m, metrics }
 }
 

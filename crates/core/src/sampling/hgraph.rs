@@ -28,6 +28,7 @@ use overlay_graphs::HGraph;
 use rand::RngExt;
 use simnet::{Ctx, Network, NodeId, Payload, Protocol};
 use std::sync::Arc;
+use telemetry::{EventKind, Phase, Telemetry};
 
 /// Messages of Algorithm 1.
 #[derive(Clone, Debug)]
@@ -228,7 +229,19 @@ pub fn run_alg1(
     params: &SamplingParams,
     seed: u64,
 ) -> (Vec<(NodeId, Vec<NodeId>)>, SamplingMetrics) {
-    let (out, metrics, _) = run_alg1_inner(graph, params, seed, false);
+    let (out, metrics, _) = run_alg1_inner(graph, params, seed, false, &Telemetry::disabled());
+    (out, metrics)
+}
+
+/// [`run_alg1`] that folds the run's telemetry (engine work metrics,
+/// sampling events, phase profile) into `tel`.
+pub fn run_alg1_observed(
+    graph: &HGraph,
+    params: &SamplingParams,
+    seed: u64,
+    tel: &Telemetry,
+) -> (Vec<(NodeId, Vec<NodeId>)>, SamplingMetrics) {
+    let (out, metrics, _) = run_alg1_inner(graph, params, seed, false, tel);
     (out, metrics)
 }
 
@@ -240,7 +253,19 @@ pub type DigestedRun = (Vec<(NodeId, Vec<NodeId>)>, SamplingMetrics, Vec<simnet:
 /// alongside the usual outputs. Replaying with identical graph, params and
 /// seed yields an identical stream; golden tests pin it.
 pub fn run_alg1_digested(graph: &HGraph, params: &SamplingParams, seed: u64) -> DigestedRun {
-    run_alg1_inner(graph, params, seed, true)
+    run_alg1_inner(graph, params, seed, true, &Telemetry::disabled())
+}
+
+/// [`run_alg1_digested`] that also folds the run's telemetry into `tel`.
+/// The determinism guard uses this combination to prove that observing a
+/// run leaves its digest stream byte-identical.
+pub fn run_alg1_digested_observed(
+    graph: &HGraph,
+    params: &SamplingParams,
+    seed: u64,
+    tel: &Telemetry,
+) -> DigestedRun {
+    run_alg1_inner(graph, params, seed, true, tel)
 }
 
 fn run_alg1_inner(
@@ -248,10 +273,23 @@ fn run_alg1_inner(
     params: &SamplingParams,
     seed: u64,
     digests: bool,
+    tel: &Telemetry,
 ) -> DigestedRun {
     let n = graph.len();
     let schedule = Arc::new(Schedule::algorithm1(n, graph.degree(), params));
+    // Every run records into a private collector; the work fields of
+    // `SamplingMetrics` derive from its snapshot, and callers observing the
+    // run absorb it wholesale. Attaching it never perturbs the engine's
+    // digest stream (observability guarantee of `Network::set_telemetry`).
+    let collector =
+        Telemetry::new(telemetry::Config { timing: tel.timing(), ..Default::default() });
+    let _sampling = collector.phase(Phase::Sampling);
+    let iterations = schedule.iterations;
+    collector.emit(0, EventKind::SamplingStarted, None, n as u64, || {
+        format!("alg1 n={n} T={iterations}")
+    });
     let mut net: Network<Alg1Node> = Network::new(seed);
+    net.set_telemetry(collector.clone());
     if digests {
         net.enable_digests();
         net.set_manifest(format!(
@@ -279,16 +317,19 @@ fn run_alg1_inner(
         min_samples = min_samples.min(samples.len());
         out.push((v, samples));
     }
-    let metrics = SamplingMetrics {
+    collector.emit(rounds, EventKind::SamplingFinished, None, failures, || {
+        format!("alg1 n={n} failures={failures}")
+    });
+    let metrics = SamplingMetrics::from_snapshot(
+        &collector.snapshot(),
         n,
         rounds,
-        iterations: schedule.iterations,
-        samples_per_node: if n == 0 { 0 } else { min_samples },
+        schedule.iterations,
+        if n == 0 { 0 } else { min_samples },
         failures,
-        max_node_bits: net.stats().max_node_bits(),
-        max_node_msgs: net.stats().max_node_msgs(),
-        total_msgs: net.stats().total_msgs(),
-    };
+    );
+    drop(_sampling);
+    tel.absorb(&collector);
     (out, metrics, net.trace().digests().to_vec())
 }
 

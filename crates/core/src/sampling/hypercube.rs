@@ -22,6 +22,7 @@ use overlay_graphs::Hypercube;
 use rand::RngExt;
 use simnet::{Ctx, Network, NodeId, Payload, Protocol};
 use std::sync::Arc;
+use telemetry::{EventKind, Phase, Telemetry};
 
 /// Messages of Algorithm 2.
 #[derive(Clone, Debug)]
@@ -169,10 +170,28 @@ pub fn run_alg2(
     params: &SamplingParams,
     seed: u64,
 ) -> (Vec<(NodeId, Vec<NodeId>)>, SamplingMetrics) {
+    run_alg2_observed(dim, params, seed, &Telemetry::disabled())
+}
+
+/// [`run_alg2`] that folds the run's telemetry into `tel`.
+pub fn run_alg2_observed(
+    dim: u32,
+    params: &SamplingParams,
+    seed: u64,
+    tel: &Telemetry,
+) -> (Vec<(NodeId, Vec<NodeId>)>, SamplingMetrics) {
     let cube = Hypercube::new(dim);
     let n = cube.len() as usize;
     let schedule = Arc::new(Schedule::algorithm2(dim, params));
+    let collector =
+        Telemetry::new(telemetry::Config { timing: tel.timing(), ..Default::default() });
+    let sampling = collector.phase(Phase::Sampling);
+    let iterations = schedule.iterations;
+    collector.emit(0, EventKind::SamplingStarted, None, n as u64, || {
+        format!("alg2 dim={dim} T={iterations}")
+    });
     let mut net: Network<Alg2Node> = Network::new(seed);
+    net.set_telemetry(collector.clone());
     for v in cube.vertices() {
         net.add_node(NodeId(v), Alg2Node::new(Arc::clone(&schedule), cube));
     }
@@ -189,16 +208,19 @@ pub fn run_alg2(
         min_samples = min_samples.min(samples.len());
         out.push((NodeId(v), samples));
     }
-    let metrics = SamplingMetrics {
+    collector.emit(rounds, EventKind::SamplingFinished, None, failures, || {
+        format!("alg2 dim={dim} failures={failures}")
+    });
+    let metrics = SamplingMetrics::from_snapshot(
+        &collector.snapshot(),
         n,
         rounds,
-        iterations: schedule.iterations,
-        samples_per_node: min_samples,
+        schedule.iterations,
+        min_samples,
         failures,
-        max_node_bits: net.stats().max_node_bits(),
-        max_node_msgs: net.stats().max_node_msgs(),
-        total_msgs: net.stats().total_msgs(),
-    };
+    );
+    drop(sampling);
+    tel.absorb(&collector);
     (out, metrics)
 }
 

@@ -3,6 +3,7 @@
 use crate::accounting::{CommStats, WorkAccumulator};
 use crate::digest::{Digest, RoundDigest, RunManifest};
 use crate::fault::{delivered, BlockSet, FaultModel, LinkFate};
+use crate::instrument::NetObserver;
 use crate::message::{Envelope, Payload};
 use crate::protocol::{Ctx, Protocol};
 use crate::rng::{stream, NodeRng};
@@ -10,6 +11,7 @@ use crate::trace::{Trace, TraceEvent};
 use crate::NodeId;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use telemetry::{EventKind, Phase, Telemetry};
 
 /// Below this many nodes a round is stepped serially; rayon overhead only
 /// pays off for larger populations. Public so determinism tests can pick
@@ -64,6 +66,7 @@ pub struct Network<P: Protocol> {
     acc: WorkAccumulator,
     stats: CommStats,
     trace: Trace,
+    obs: NetObserver,
     par_mode: ParMode,
     digests_enabled: bool,
 }
@@ -85,9 +88,29 @@ impl<P: Protocol> Network<P> {
             acc: WorkAccumulator::default(),
             stats: CommStats::new(),
             trace: Trace::counters_only(),
+            obs: NetObserver::disabled(),
             par_mode: ParMode::Auto,
             digests_enabled: false,
         }
+    }
+
+    /// Attach a telemetry recorder. The engine then emits per-round
+    /// delivery/fault/work metrics, brackets deliver/compute/send in
+    /// profiler phases, and records node lifecycle events.
+    ///
+    /// Telemetry is pure observability: it never draws simulation
+    /// randomness, never feeds [`Self::round_digest`], and is not
+    /// checkpointed — a run's digest stream is identical with or without a
+    /// recorder attached. The default is [`Telemetry::disabled`], whose
+    /// hot-path cost is a single branch per operation.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.obs = NetObserver::new(tel, &self.trace);
+    }
+
+    /// The attached telemetry recorder (disabled unless
+    /// [`Self::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.obs.telemetry()
     }
 
     /// Enable event tracing with the given buffer capacity. Counters,
@@ -280,6 +303,7 @@ impl<P: Protocol> Network<P> {
         };
         self.index.insert(id, idx);
         self.trace.record(TraceEvent::NodeAdded { round: self.round, node: id });
+        self.obs.node_event(self.round, EventKind::NodeAdded, id);
     }
 
     /// Remove a node, returning its protocol state. Messages in flight to it
@@ -289,6 +313,7 @@ impl<P: Protocol> Network<P> {
         let slot = self.slots[idx].take().expect("index pointed at empty slot");
         self.free.push(idx);
         self.trace.record(TraceEvent::NodeRemoved { round: self.round, node: id });
+        self.obs.node_event(self.round, EventKind::NodeRemoved, id);
         Some(slot.proto)
     }
 
@@ -325,6 +350,7 @@ impl<P: Protocol> Network<P> {
                     slot.inbox.clear();
                     slot.rng = stream(self.master_seed, id.raw(), (1 << 63) | round);
                     self.trace.record(TraceEvent::NodeRecovered { round, node: id });
+                    self.obs.node_event(round, EventKind::NodeRecovered, id);
                 }
             }
         }
@@ -334,17 +360,21 @@ impl<P: Protocol> Network<P> {
         // Step 1: deliver. Messages held back by a delay fault that mature
         // this round go first (their Section 1.1 check ran when the delay
         // was drawn), then last round's sends under the full rule.
-        if !self.delayed.is_empty() {
-            let held = std::mem::take(&mut self.delayed);
-            let (due, still): (Vec<_>, Vec<_>) = held.into_iter().partition(|(d, _)| *d <= round);
-            self.delayed = still;
-            for (_, env) in due {
-                self.deliver_one(env, round, blocked, &downs, false);
+        {
+            let _deliver = self.obs.telemetry().phase(Phase::Deliver);
+            if !self.delayed.is_empty() {
+                let held = std::mem::take(&mut self.delayed);
+                let (due, still): (Vec<_>, Vec<_>) =
+                    held.into_iter().partition(|(d, _)| *d <= round);
+                self.delayed = still;
+                for (_, env) in due {
+                    self.deliver_one(env, round, blocked, &downs, false);
+                }
             }
-        }
-        let in_flight = std::mem::take(&mut self.in_flight);
-        for env in in_flight {
-            self.deliver_one(env, round, blocked, &downs, true);
+            let in_flight = std::mem::take(&mut self.in_flight);
+            for env in in_flight {
+                self.deliver_one(env, round, blocked, &downs, true);
+            }
         }
 
         // Steps 2+3: local computation and sending, in parallel. Each node
@@ -372,22 +402,36 @@ impl<P: Protocol> Network<P> {
             ParMode::Serial => false,
             ParMode::Parallel => true,
         };
-        if parallel {
-            self.slots.par_iter_mut().flatten().for_each(run);
-        } else {
-            self.slots.iter_mut().flatten().for_each(run);
-        }
-
-        // Collect outboxes; charge senders.
-        for (idx, slot) in self.slots.iter_mut().enumerate() {
-            let Some(slot) = slot else { continue };
-            for env in slot.outbox.drain(..) {
-                self.acc.charge(idx, env.msg.size_bits());
-                self.in_flight.push(env);
+        {
+            let _compute = self.obs.telemetry().phase(Phase::Compute);
+            if parallel {
+                self.slots.par_iter_mut().flatten().for_each(run);
+            } else {
+                self.slots.iter_mut().flatten().for_each(run);
             }
         }
 
-        self.stats.push(self.acc.finish(round));
+        // Collect outboxes; charge senders.
+        let (mut sent_bits, mut sent_msgs) = (0u64, 0u64);
+        {
+            let _send = self.obs.telemetry().phase(Phase::Send);
+            for (idx, slot) in self.slots.iter_mut().enumerate() {
+                let Some(slot) = slot else { continue };
+                for env in slot.outbox.drain(..) {
+                    let bits = env.msg.size_bits();
+                    self.acc.charge(idx, bits);
+                    sent_bits += bits;
+                    sent_msgs += 1;
+                    self.in_flight.push(env);
+                }
+            }
+        }
+
+        let work = self.acc.finish(round);
+        self.stats.push(work);
+        if self.obs.enabled() {
+            self.obs.on_round(&self.trace, work, self.index.len(), sent_bits, sent_msgs);
+        }
         self.prev_blocked = blocked.clone();
         self.round += 1;
 
@@ -616,6 +660,7 @@ where
             acc: WorkAccumulator::default(),
             stats: CommStats::new(),
             trace: Trace::counters_only(),
+            obs: NetObserver::disabled(),
             par_mode: par_mode_from(get_str(v, "par_mode")?)?,
             digests_enabled: get_bool(v, "digests_enabled")?,
         };
@@ -1208,6 +1253,70 @@ mod tests {
         assert_eq!(resumed.round(), 4);
         assert_eq!(resumed.round_digest(), net.round_digest());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    // -- telemetry ----------------------------------------------------------
+
+    #[test]
+    fn telemetry_attachment_never_perturbs_digests() {
+        let run = |attach: bool| {
+            let mut net = ring(8, 61);
+            if attach {
+                net.set_telemetry(Telemetry::collector());
+            }
+            net.enable_digests();
+            net.run(10);
+            net.trace().digests().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn telemetry_mirrors_trace_counters_and_work() {
+        let tel = Telemetry::collector();
+        let mut net = ring(6, 62);
+        net.set_telemetry(tel.clone());
+        net.remove_node(NodeId(3)); // break the ring -> dropped_missing later
+        net.run(8);
+        let s = tel.snapshot();
+        assert_eq!(s.counter("net.rounds"), 8);
+        assert_eq!(s.counter("net.delivered"), net.trace().delivered);
+        assert_eq!(s.counter("net.dropped_missing"), net.trace().dropped_missing);
+        assert_eq!(s.counter("net.total_bits"), net.stats().total_bits());
+        assert_eq!(s.counter("net.total_msgs"), net.stats().total_msgs());
+        assert_eq!(s.gauge("net.max_node_bits"), net.stats().max_node_bits());
+        assert_eq!(s.gauge("net.nodes"), net.len() as u64);
+        assert_eq!(s.histogram("net.round_bits").unwrap().count, 8);
+
+        // Node lifecycle flows into the event ring.
+        let (events, _) = tel.events();
+        assert!(events.iter().any(|e| e.kind == EventKind::NodeRemoved && e.node == Some(3)));
+
+        // Phase profile: every round entered deliver/compute/send once, and
+        // send+deliver work sums to the accounted totals.
+        let prof = tel.profile();
+        for phase in [Phase::Deliver, Phase::Compute, Phase::Send] {
+            assert_eq!(prof.stat(phase).enters, 8, "{phase:?}");
+        }
+        let send = prof.stat(Phase::Send);
+        let deliver = prof.stat(Phase::Deliver);
+        assert_eq!(send.bits + deliver.bits, net.stats().total_bits());
+        assert_eq!(send.msgs + deliver.msgs, net.stats().total_msgs());
+    }
+
+    #[test]
+    fn telemetry_attached_mid_run_only_sees_the_rest() {
+        let mut net = ring(4, 63);
+        net.run(5);
+        let tel = Telemetry::collector();
+        net.set_telemetry(tel.clone());
+        net.run(3);
+        let s = tel.snapshot();
+        assert_eq!(s.counter("net.rounds"), 3);
+        assert!(
+            s.counter("net.delivered") <= net.trace().delivered,
+            "pre-attachment deliveries must not be re-counted"
+        );
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Engine-side telemetry: per-round delivery/fault metrics and node
+//! lifecycle events, recorded into an attached [`telemetry::Telemetry`].
+//!
+//! The observer is pure observability. It never draws from any simulation
+//! RNG, never feeds [`crate::digest`], and is not checkpointed — attaching
+//! or detaching a recorder cannot change a digest stream. Delivery counts
+//! are derived by diffing the trace's always-on counters once per round,
+//! so the per-message hot path is untouched.
+
+use crate::accounting::RoundWork;
+use crate::trace::Trace;
+use telemetry::{Counter, EventKind, Gauge, Histogram, Phase, Telemetry};
+
+/// Cached totals of the trace's always-on counters, used to attribute
+/// deltas to the round that produced them.
+#[derive(Clone, Copy, Default)]
+struct TraceTotals {
+    delivered: u64,
+    dropped_blocked: u64,
+    dropped_missing: u64,
+    dropped_fault: u64,
+    dropped_link: u64,
+    duplicated: u64,
+    delayed: u64,
+}
+
+impl TraceTotals {
+    fn of(trace: &Trace) -> Self {
+        Self {
+            delivered: trace.delivered,
+            dropped_blocked: trace.dropped_blocked,
+            dropped_missing: trace.dropped_missing,
+            dropped_fault: trace.dropped_fault,
+            dropped_link: trace.dropped_link,
+            duplicated: trace.duplicated,
+            delayed: trace.delayed,
+        }
+    }
+}
+
+/// The engine's recorder attachment: metric handles resolved once so the
+/// per-round path is a handful of relaxed atomic adds.
+pub(crate) struct NetObserver {
+    tel: Telemetry,
+    rounds: Counter,
+    delivered: Counter,
+    dropped_blocked: Counter,
+    dropped_missing: Counter,
+    dropped_fault: Counter,
+    dropped_link: Counter,
+    duplicated: Counter,
+    delayed: Counter,
+    total_bits: Counter,
+    total_msgs: Counter,
+    max_node_bits: Gauge,
+    max_node_msgs: Gauge,
+    round_bits: Histogram,
+    round_msgs: Histogram,
+    nodes: Gauge,
+    prev: TraceTotals,
+}
+
+impl NetObserver {
+    pub(crate) fn disabled() -> Self {
+        Self::new(Telemetry::disabled(), &Trace::counters_only())
+    }
+
+    /// Resolve all handles against `tel`. `trace` provides the baseline for
+    /// counter diffing — metrics attached mid-run only see what happens
+    /// after attachment.
+    pub(crate) fn new(tel: Telemetry, trace: &Trace) -> Self {
+        let c = |name: &str| tel.counter(name, &[]);
+        Self {
+            rounds: c("net.rounds"),
+            delivered: c("net.delivered"),
+            dropped_blocked: c("net.dropped_blocked"),
+            dropped_missing: c("net.dropped_missing"),
+            dropped_fault: c("net.dropped_fault"),
+            dropped_link: c("net.dropped_link"),
+            duplicated: c("net.duplicated"),
+            delayed: c("net.delayed"),
+            total_bits: c("net.total_bits"),
+            total_msgs: c("net.total_msgs"),
+            max_node_bits: tel.gauge("net.max_node_bits", &[]),
+            max_node_msgs: tel.gauge("net.max_node_msgs", &[]),
+            round_bits: tel.histogram("net.round_bits", &[]),
+            round_msgs: tel.histogram("net.round_msgs", &[]),
+            nodes: tel.gauge("net.nodes", &[]),
+            prev: TraceTotals::of(trace),
+            tel,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.tel.enabled()
+    }
+
+    pub(crate) fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Record one finished round: delivery-counter deltas, the round's
+    /// communication work, and the current population. `sent_bits` and
+    /// `sent_msgs` are the send-side charges of the round; the remainder of
+    /// the round's work is the receive side and is attributed to the
+    /// deliver phase.
+    pub(crate) fn on_round(
+        &mut self,
+        trace: &Trace,
+        work: RoundWork,
+        population: usize,
+        sent_bits: u64,
+        sent_msgs: u64,
+    ) {
+        let now = TraceTotals::of(trace);
+        self.rounds.inc();
+        self.delivered.add(now.delivered - self.prev.delivered);
+        self.dropped_blocked.add(now.dropped_blocked - self.prev.dropped_blocked);
+        self.dropped_missing.add(now.dropped_missing - self.prev.dropped_missing);
+        self.dropped_fault.add(now.dropped_fault - self.prev.dropped_fault);
+        self.dropped_link.add(now.dropped_link - self.prev.dropped_link);
+        self.duplicated.add(now.duplicated - self.prev.duplicated);
+        self.delayed.add(now.delayed - self.prev.delayed);
+        self.prev = now;
+
+        self.total_bits.add(work.total_bits);
+        self.total_msgs.add(work.total_msgs);
+        self.max_node_bits.record_max(work.max_node_bits);
+        self.max_node_msgs.record_max(work.max_node_msgs);
+        self.round_bits.record(work.total_bits);
+        self.round_msgs.record(work.total_msgs);
+        self.nodes.record_max(population as u64);
+
+        self.tel.add_work(Phase::Send, sent_bits, sent_msgs);
+        self.tel.add_work(
+            Phase::Deliver,
+            work.total_bits.saturating_sub(sent_bits),
+            work.total_msgs.saturating_sub(sent_msgs),
+        );
+    }
+
+    /// Emit a node lifecycle event.
+    #[inline]
+    pub(crate) fn node_event(&self, round: u64, kind: EventKind, node: crate::NodeId) {
+        self.tel.emit(round, kind, Some(node.raw()), 0, String::new);
+    }
+}

@@ -69,6 +69,7 @@ pub mod digest;
 pub mod engine;
 pub mod fault;
 pub mod id;
+mod instrument;
 pub mod message;
 pub mod observer;
 pub mod protocol;

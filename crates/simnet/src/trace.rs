@@ -35,7 +35,7 @@ pub enum TraceEvent {
 /// Bounded event log. Disabled by default; when enabled it records up to
 /// `cap` events and counts overflow. Also holds the replay-verification
 /// record of a run: the per-round digest stream and the [`RunManifest`].
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     enabled: bool,
     cap: usize,
@@ -141,9 +141,194 @@ impl Trace {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Value serialization
+// ---------------------------------------------------------------------------
+//
+// The serde derives above are hermetic no-op shims, so persistable form goes
+// through the workspace's `Checkpoint` convention instead. Note this is for
+// *offline analysis* (dumping a trace next to experiment results); the
+// engine itself never checkpoints observability state.
+
+use crate::checkpoint::{
+    field, get_array, get_bool, get_str, get_u64, Checkpoint, CkptError, CkptResult,
+};
+use serde_json::{json, Value};
+
+impl Checkpoint for TraceEvent {
+    fn save(&self) -> Value {
+        let (t, round, a, b, until) = match *self {
+            TraceEvent::Delivered { round, from, to } => {
+                ("delivered", round, from.raw(), to.raw(), None)
+            }
+            TraceEvent::DroppedBlocked { round, from, to } => {
+                ("dropped-blocked", round, from.raw(), to.raw(), None)
+            }
+            TraceEvent::DroppedMissing { round, from, to } => {
+                ("dropped-missing", round, from.raw(), to.raw(), None)
+            }
+            TraceEvent::DroppedFault { round, from, to } => {
+                ("dropped-fault", round, from.raw(), to.raw(), None)
+            }
+            TraceEvent::DroppedLink { round, from, to } => {
+                ("dropped-link", round, from.raw(), to.raw(), None)
+            }
+            TraceEvent::Duplicated { round, from, to } => {
+                ("duplicated", round, from.raw(), to.raw(), None)
+            }
+            TraceEvent::Delayed { round, from, to, until } => {
+                ("delayed", round, from.raw(), to.raw(), Some(until))
+            }
+            TraceEvent::NodeAdded { round, node } => ("node-added", round, node.raw(), 0, None),
+            TraceEvent::NodeRemoved { round, node } => ("node-removed", round, node.raw(), 0, None),
+            TraceEvent::NodeRecovered { round, node } => {
+                ("node-recovered", round, node.raw(), 0, None)
+            }
+        };
+        let mut v = json!({ "t": t, "round": round, "a": a, "b": b });
+        if let (Value::Object(m), Some(until)) = (&mut v, until) {
+            m.insert("until".into(), Value::from(until));
+        }
+        v
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        let round = get_u64(v, "round")?;
+        let a = NodeId(get_u64(v, "a")?);
+        let b = NodeId(get_u64(v, "b")?);
+        Ok(match get_str(v, "t")? {
+            "delivered" => TraceEvent::Delivered { round, from: a, to: b },
+            "dropped-blocked" => TraceEvent::DroppedBlocked { round, from: a, to: b },
+            "dropped-missing" => TraceEvent::DroppedMissing { round, from: a, to: b },
+            "dropped-fault" => TraceEvent::DroppedFault { round, from: a, to: b },
+            "dropped-link" => TraceEvent::DroppedLink { round, from: a, to: b },
+            "duplicated" => TraceEvent::Duplicated { round, from: a, to: b },
+            "delayed" => TraceEvent::Delayed { round, from: a, to: b, until: get_u64(v, "until")? },
+            "node-added" => TraceEvent::NodeAdded { round, node: a },
+            "node-removed" => TraceEvent::NodeRemoved { round, node: a },
+            "node-recovered" => TraceEvent::NodeRecovered { round, node: a },
+            other => return Err(CkptError::Corrupt(format!("unknown trace event `{other}`"))),
+        })
+    }
+}
+
+impl Checkpoint for Trace {
+    fn save(&self) -> Value {
+        let digests: Vec<Value> =
+            self.digests.iter().map(|d| json!({ "round": d.round, "value": d.value })).collect();
+        let manifest = match &self.manifest {
+            None => Value::Null,
+            Some(m) => json!({
+                "master_seed": m.master_seed,
+                "config": m.config.as_str(),
+                "crate_version": m.crate_version.as_str(),
+            }),
+        };
+        json!({
+            "enabled": self.enabled,
+            "cap": self.cap as u64,
+            "events": crate::checkpoint::save_slice(&self.events),
+            "digests": Value::Array(digests),
+            "manifest": manifest,
+            "overflow": self.overflow,
+            "dropped_blocked": self.dropped_blocked,
+            "dropped_missing": self.dropped_missing,
+            "delivered": self.delivered,
+            "dropped_fault": self.dropped_fault,
+            "dropped_link": self.dropped_link,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+        })
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        let mut digests = Vec::new();
+        for d in get_array(v, "digests")? {
+            digests.push(RoundDigest { round: get_u64(d, "round")?, value: get_u64(d, "value")? });
+        }
+        let manifest = match field(v, "manifest")? {
+            Value::Null => None,
+            m => Some(RunManifest {
+                master_seed: get_u64(m, "master_seed")?,
+                config: get_str(m, "config")?.to_string(),
+                crate_version: get_str(m, "crate_version")?.to_string(),
+            }),
+        };
+        Ok(Self {
+            enabled: get_bool(v, "enabled")?,
+            cap: get_u64(v, "cap")? as usize,
+            events: crate::checkpoint::get_vec(v, "events")?,
+            digests,
+            manifest,
+            overflow: get_u64(v, "overflow")?,
+            dropped_blocked: get_u64(v, "dropped_blocked")?,
+            dropped_missing: get_u64(v, "dropped_missing")?,
+            delivered: get_u64(v, "delivered")?,
+            dropped_fault: get_u64(v, "dropped_fault")?,
+            dropped_link: get_u64(v, "dropped_link")?,
+            duplicated: get_u64(v, "duplicated")?,
+            delayed: get_u64(v, "delayed")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let mut t = Trace::default();
+        t.record(TraceEvent::Delivered { round: 0, from: NodeId(1), to: NodeId(2) });
+        assert!(t.events().is_empty(), "default trace must not buffer events");
+        assert_eq!(t.overflow, 0, "disabled recording is not overflow");
+        assert_eq!(t.delivered, 1, "aggregate counters stay on");
+    }
+
+    #[test]
+    fn zero_capacity_overflows_every_event() {
+        let mut t = Trace::with_capacity(0);
+        for i in 0..4 {
+            t.record(TraceEvent::NodeAdded { round: i, node: NodeId(i) });
+        }
+        assert!(t.events().is_empty());
+        assert_eq!(t.overflow, 4);
+    }
+
+    #[test]
+    fn value_round_trip_preserves_everything() {
+        let mut t = Trace::with_capacity(8);
+        t.record(TraceEvent::Delivered { round: 0, from: NodeId(1), to: NodeId(2) });
+        t.record(TraceEvent::Delayed { round: 1, from: NodeId(2), to: NodeId(3), until: 4 });
+        t.record(TraceEvent::NodeRemoved { round: 2, node: NodeId(3) });
+        t.record(TraceEvent::DroppedLink { round: 3, from: NodeId(0), to: NodeId(1) });
+        t.record_digest(RoundDigest { round: 0, value: 0xDEAD_BEEF });
+        t.set_manifest(RunManifest::new(7, "ring n=4"));
+        let restored = Trace::load(&t.save()).expect("round trip");
+        assert_eq!(restored, t);
+
+        // And through actual JSON text, as a file would store it.
+        let text = serde_json::to_string(&t.save()).unwrap();
+        let reparsed = Trace::load(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(reparsed, t);
+    }
+
+    #[test]
+    fn value_round_trip_of_overflowed_trace() {
+        let mut t = Trace::with_capacity(1);
+        for i in 0..3 {
+            t.record(TraceEvent::NodeAdded { round: i, node: NodeId(i) });
+        }
+        let restored = Trace::load(&t.save()).unwrap();
+        assert_eq!(restored.overflow, 2);
+        assert_eq!(restored.events().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_event_is_rejected() {
+        let v = serde_json::from_str(r#"{"t":"no-such-event","round":0,"a":1,"b":2}"#).unwrap();
+        assert!(TraceEvent::load(&v).is_err());
+    }
 
     #[test]
     fn counters_work_when_disabled() {

@@ -86,6 +86,99 @@ impl<T: Eq + Hash> FromIterator<T> for Histogram<T> {
     }
 }
 
+/// A log2-bucketed histogram over `u64` values: bucket 0 counts zeros,
+/// bucket `i >= 1` counts values in `[2^(i-1), 2^i)`. The bucket layout
+/// matches the telemetry crate's histogram export, so bucket vectors from
+/// `results/*_telemetry.json` load directly via
+/// [`BucketHistogram::from_buckets`] for percentile estimation.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketHistogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl BucketHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild from an exported bucket vector (trailing zeros optional).
+    pub fn from_buckets(buckets: &[u64]) -> Self {
+        let mut h = Self { buckets: buckets.to_vec(), total: buckets.iter().sum() };
+        while h.buckets.last() == Some(&0) {
+            h.buckets.pop();
+        }
+        h
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        let b = if value == 0 { 0 } else { 64 - value.leading_zeros() as usize };
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.total += 1;
+    }
+
+    /// Observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The bucket counts (no trailing zeros).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Fold another histogram in, padding whichever bucket vector is
+    /// shorter (merging exports with different bucket counts is routine:
+    /// trailing zero buckets are trimmed on export).
+    pub fn merge(&mut self, other: &Self) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`): the
+    /// exclusive upper edge of the bucket holding the `ceil(q * total)`-th
+    /// smallest observation. `None` when empty. Within-bucket positions
+    /// are unknown, so this is exact only in the log2 sense — sufficient
+    /// for the order-of-magnitude tables the run report prints.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket 0 holds exactly the zeros; bucket i >= 1 is
+                // [2^(i-1), 2^i), upper edge 2^i - 1.
+                return Some(if i == 0 { 0 } else { (1u64 << i) - 1 });
+            }
+        }
+        None // unreachable: seen == total >= rank by the end
+    }
+}
+
+impl FromIterator<u64> for BucketHistogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Self::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +214,66 @@ mod tests {
         h.add_n("x", 5);
         assert_eq!(h.total(), 5);
         assert_eq!(h.count(&"x"), 5);
+    }
+
+    #[test]
+    fn bucket_histogram_empty_percentiles() {
+        let h = BucketHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(1.0), None);
+        // Merging an empty histogram is a no-op.
+        let mut other: BucketHistogram = [1u64, 2, 3].into_iter().collect();
+        let before = other.clone();
+        other.merge(&h);
+        assert_eq!(other, before);
+    }
+
+    #[test]
+    fn bucket_histogram_single_bucket_merge() {
+        // All values land in bucket 3 ([4, 8)).
+        let mut a: BucketHistogram = [4u64, 5, 7].into_iter().collect();
+        let b: BucketHistogram = [6u64, 6].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.buckets(), &[0, 0, 0, 5]);
+        // Every percentile resolves to the single bucket's upper edge.
+        assert_eq!(a.percentile(0.01), Some(7));
+        assert_eq!(a.percentile(1.0), Some(7));
+    }
+
+    #[test]
+    fn bucket_histogram_merge_different_bucket_counts() {
+        // a spans buckets 0..=1, b spans buckets 0..=5: merge must pad.
+        let mut a = BucketHistogram::from_buckets(&[2, 3]);
+        let b = BucketHistogram::from_buckets(&[1, 0, 0, 0, 0, 4]);
+        a.merge(&b);
+        assert_eq!(a.total(), 10);
+        assert_eq!(a.buckets(), &[3, 3, 0, 0, 0, 4]);
+        // Merging the short one into the long one gives the same result.
+        let mut c = BucketHistogram::from_buckets(&[1, 0, 0, 0, 0, 4]);
+        c.merge(&BucketHistogram::from_buckets(&[2, 3]));
+        assert_eq!(a, c);
+        // Ranks: 3 zeros, then 3 ones, then 4 values in [16, 32).
+        assert_eq!(a.percentile(0.3), Some(0));
+        assert_eq!(a.percentile(0.6), Some(1));
+        assert_eq!(a.percentile(0.99), Some(31));
+    }
+
+    #[test]
+    fn bucket_histogram_record_matches_telemetry_bucketing() {
+        let mut h = BucketHistogram::new();
+        for v in [0u64, 1, 2, 3, 4, 8, 1024] {
+            h.record(v);
+        }
+        // 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 4 -> 3; 8 -> 4;
+        // 1024 -> bucket 11.
+        assert_eq!(h.buckets(), &[1, 1, 2, 1, 1, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(h.percentile(1.0), Some(2047));
+        // from_buckets trims trailing zeros.
+        let t = BucketHistogram::from_buckets(&[1, 2, 0, 0]);
+        assert_eq!(t.buckets(), &[1, 2]);
+        assert_eq!(t.total(), 3);
     }
 }

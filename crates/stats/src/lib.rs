@@ -23,7 +23,7 @@ pub mod tv;
 
 pub use chernoff::{chernoff_lower, chernoff_upper, smallest_c_for_whp};
 pub use chi_square::{chi_square_pvalue, chi_square_stat, uniform_fit};
-pub use histogram::Histogram;
+pub use histogram::{BucketHistogram, Histogram};
 pub use shape::{fit_log, fit_loglog, GrowthFit};
 pub use summary::Summary;
 pub use tv::{tv_distance, tv_distance_uniform};

@@ -1,0 +1,275 @@
+//! JSONL export and re-import of a captured run.
+//!
+//! One line per record, each a small JSON object tagged by `"type"`:
+//! `meta`, `counter`, `gauge`, `hist`, `phase`, `event`, `overflow`. The
+//! format is line-appendable, greppable, and diff-stable: records are
+//! emitted in a fixed order (meta, counters, gauges, histograms, phases,
+//! events, overflow) and metric keys are already canonically sorted, so a
+//! timing-off capture of a deterministic run serializes byte-identically
+//! every time.
+//!
+//! The `trace-report` binary parses these files back with
+//! [`RunTelemetry::from_jsonl`].
+
+use crate::profiler::{Phase, PhaseStat, ProfilerSnapshot};
+use crate::registry::{HistSnapshot, Snapshot};
+use crate::span::{Event, EventKind};
+use serde_json::{json, Value};
+
+/// Everything a recorder captured for one run, in exportable form.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunTelemetry {
+    /// Free-form run description (experiment id, seed, config), in
+    /// insertion order.
+    pub meta: Vec<(String, String)>,
+    /// Whether wall-clock timing was sampled (when false every byte below
+    /// is deterministic).
+    pub timing: bool,
+    /// Metrics registry snapshot.
+    pub snapshot: Snapshot,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted from the ring.
+    pub events_overflow: u64,
+    /// Per-phase profile.
+    pub profile: ProfilerSnapshot,
+}
+
+impl RunTelemetry {
+    /// Serialize to JSONL (one record per line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut push = |v: Value| {
+            out.push_str(&serde_json::to_string(&v).expect("telemetry records serialize"));
+            out.push('\n');
+        };
+
+        let mut meta = serde_json::Map::new();
+        for (k, v) in &self.meta {
+            meta.insert(k.clone(), Value::String(v.clone()));
+        }
+        push(json!({"type": "meta", "timing": self.timing, "run": Value::Object(meta)}));
+
+        for (key, &v) in &self.snapshot.counters {
+            push(json!({"type": "counter", "key": key.as_str(), "value": v}));
+        }
+        for (key, &v) in &self.snapshot.gauges {
+            push(json!({"type": "gauge", "key": key.as_str(), "value": v}));
+        }
+        for (key, h) in &self.snapshot.histograms {
+            let buckets = Value::Array(h.buckets.iter().map(|&b| json!(b)).collect());
+            push(json!({
+                "type": "hist",
+                "key": key.as_str(),
+                "buckets": buckets,
+                "count": h.count,
+                "sum": h.sum,
+                "min": h.min,
+                "max": h.max,
+            }));
+        }
+        for stat in &self.profile.phases {
+            if stat.enters == 0 && stat.bits == 0 && stat.msgs == 0 {
+                continue;
+            }
+            push(json!({
+                "type": "phase",
+                "phase": stat.phase.name(),
+                "enters": stat.enters,
+                "wall_ns": stat.wall_ns,
+                "bits": stat.bits,
+                "msgs": stat.msgs,
+            }));
+        }
+        for ev in &self.events {
+            let node = ev.node.map_or(Value::Null, |n| json!(n));
+            push(json!({
+                "type": "event",
+                "seq": ev.seq,
+                "round": ev.round,
+                "kind": ev.kind.name(),
+                "node": node,
+                "value": ev.value,
+                "detail": ev.detail.as_str(),
+            }));
+        }
+        push(json!({"type": "overflow", "events_dropped": self.events_overflow}));
+        out
+    }
+
+    /// Write the JSONL export to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Parse a JSONL export back. Unknown record types are skipped so the
+    /// format can grow; malformed lines are errors.
+    pub fn from_jsonl(text: &str) -> Result<RunTelemetry, String> {
+        let mut run = RunTelemetry::default();
+        let mut phases: Vec<PhaseStat> = Phase::ALL
+            .iter()
+            .map(|&p| PhaseStat { phase: p, enters: 0, wall_ns: 0, bits: 0, msgs: 0 })
+            .collect();
+        let mut saw_phase = false;
+
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = serde_json::from_str(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let get = |field: &str| -> Result<u64, String> {
+                v.get(field)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {}: missing `{field}`", lineno + 1))
+            };
+            let get_str = |field: &str| -> Result<String, String> {
+                v.get(field)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("line {}: missing `{field}`", lineno + 1))
+            };
+            match v.get("type").and_then(Value::as_str) {
+                Some("meta") => {
+                    run.timing = v.get("timing").and_then(Value::as_bool).unwrap_or(false);
+                    if let Some(obj) = v.get("run").and_then(Value::as_object) {
+                        for (k, val) in obj.iter() {
+                            if let Some(s) = val.as_str() {
+                                run.meta.push((k.clone(), s.to_string()));
+                            }
+                        }
+                    }
+                }
+                Some("counter") => {
+                    run.snapshot.counters.insert(get_str("key")?, get("value")?);
+                }
+                Some("gauge") => {
+                    run.snapshot.gauges.insert(get_str("key")?, get("value")?);
+                }
+                Some("hist") => {
+                    let buckets = v
+                        .get("buckets")
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| format!("line {}: missing `buckets`", lineno + 1))?
+                        .iter()
+                        .map(|b| b.as_u64().unwrap_or(0))
+                        .collect();
+                    run.snapshot.histograms.insert(
+                        get_str("key")?,
+                        HistSnapshot {
+                            buckets,
+                            count: get("count")?,
+                            sum: get("sum")?,
+                            min: get("min")?,
+                            max: get("max")?,
+                        },
+                    );
+                }
+                Some("phase") => {
+                    let name = get_str("phase")?;
+                    let phase = Phase::from_name(&name)
+                        .ok_or_else(|| format!("line {}: unknown phase `{name}`", lineno + 1))?;
+                    phases[phase.index()] = PhaseStat {
+                        phase,
+                        enters: get("enters")?,
+                        wall_ns: get("wall_ns")?,
+                        bits: get("bits")?,
+                        msgs: get("msgs")?,
+                    };
+                    saw_phase = true;
+                }
+                Some("event") => {
+                    let kind_name = get_str("kind")?;
+                    let kind = EventKind::from_name(&kind_name).ok_or_else(|| {
+                        format!("line {}: unknown event kind `{kind_name}`", lineno + 1)
+                    })?;
+                    run.events.push(Event {
+                        seq: get("seq")?,
+                        round: get("round")?,
+                        kind,
+                        node: v.get("node").and_then(Value::as_u64),
+                        value: get("value")?,
+                        detail: get_str("detail").unwrap_or_default(),
+                    });
+                }
+                Some("overflow") => {
+                    run.events_overflow = get("events_dropped")?;
+                }
+                Some(_) => {} // forward compatibility: skip unknown records
+                None => return Err(format!("line {}: record without `type`", lineno + 1)),
+            }
+        }
+        if saw_phase {
+            run.profile = ProfilerSnapshot { phases };
+        }
+        Ok(run)
+    }
+
+    /// Meta value by key.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, EventKind, Phase, Telemetry};
+
+    fn sample_run() -> RunTelemetry {
+        let t = Telemetry::new(Config { enabled: true, timing: false, events_cap: 2 });
+        t.counter("net.msgs", &[("family", "dos")]).add(42);
+        t.gauge("net.peak_bits", &[]).record_max(512);
+        let h = t.histogram("round.bits", &[]);
+        h.record(0);
+        h.record(3);
+        h.record(4096);
+        t.emit(1, EventKind::Desync, Some(5), 2, || "missed broadcast".into());
+        t.emit(2, EventKind::Resync, Some(5), 0, String::new);
+        t.emit(9, EventKind::Eviction, None, 0, String::new); // evicts the desync
+        {
+            let _p = t.phase(Phase::Compute);
+            t.add_work(Phase::Compute, 100, 7);
+        }
+        t.capture(&[("exp", "unit"), ("seed", "3")])
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let run = sample_run();
+        let text = run.to_jsonl();
+        let parsed = RunTelemetry::from_jsonl(&text).unwrap();
+        assert_eq!(parsed, run);
+        assert_eq!(parsed.meta("exp"), Some("unit"));
+        assert_eq!(parsed.events_overflow, 1);
+    }
+
+    #[test]
+    fn export_is_line_oriented_and_tagged() {
+        let text = sample_run().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"type\":\"meta\""), "meta leads: {}", lines[0]);
+        assert!(lines.last().unwrap().contains("\"type\":\"overflow\""));
+        for line in &lines {
+            serde_json::from_str(line).expect("every line is standalone JSON");
+        }
+    }
+
+    #[test]
+    fn unknown_record_types_are_skipped() {
+        let mut text = sample_run().to_jsonl();
+        text.push_str("{\"type\":\"future-record\",\"x\":1}\n");
+        assert!(RunTelemetry::from_jsonl(&text).is_ok());
+        assert!(RunTelemetry::from_jsonl("{\"no_type\":true}\n").is_err());
+    }
+
+    #[test]
+    fn empty_capture_exports_cleanly() {
+        let run = Telemetry::collector().capture(&[]);
+        let parsed = RunTelemetry::from_jsonl(&run.to_jsonl()).unwrap();
+        assert!(parsed.snapshot.is_empty());
+        assert!(parsed.events.is_empty());
+    }
+}

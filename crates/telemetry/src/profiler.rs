@@ -1,0 +1,257 @@
+//! The round profiler: wall-clock and work (bits / message events) per
+//! simulation phase.
+//!
+//! The engine brackets each part of a round — deliver, compute, send — in
+//! a phase guard; higher layers use the healing / monitor / reconfig /
+//! sampling phases. Wall-clock is only sampled when timing is enabled, so
+//! a timing-off profile is deterministic (enter counts and work only) and
+//! a disabled recorder pays a single branch per guard.
+//!
+//! Profiler state is observability only: it is never hashed into round
+//! digests and never checkpointed, so replay identity is untouched.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const ORD: Ordering = Ordering::Relaxed;
+
+/// The profiled phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Message delivery (engine step 1).
+    Deliver,
+    /// Local protocol computation (engine step 2).
+    Compute,
+    /// Outbox collection and send charging (engine step 3).
+    Send,
+    /// Self-healing bookkeeping (retries, evictions, rejoins).
+    Healing,
+    /// Invariant monitoring.
+    Monitor,
+    /// Reconfiguration epochs (sampling + permutation + wiring).
+    Reconfig,
+    /// Sampling primitives (Algorithms 1/2 and baselines).
+    Sampling,
+    /// Result/export I/O.
+    Io,
+}
+
+impl Phase {
+    /// Stable lower-case name used in exports and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Deliver => "deliver",
+            Phase::Compute => "compute",
+            Phase::Send => "send",
+            Phase::Healing => "healing",
+            Phase::Monitor => "monitor",
+            Phase::Reconfig => "reconfig",
+            Phase::Sampling => "sampling",
+            Phase::Io => "io",
+        }
+    }
+
+    /// Every phase, in export order.
+    pub const ALL: [Phase; 8] = [
+        Phase::Deliver,
+        Phase::Compute,
+        Phase::Send,
+        Phase::Healing,
+        Phase::Monitor,
+        Phase::Reconfig,
+        Phase::Sampling,
+        Phase::Io,
+    ];
+
+    /// Parse an exported name back (for report tooling).
+    pub fn from_name(s: &str) -> Option<Self> {
+        Phase::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Phase::Deliver => 0,
+            Phase::Compute => 1,
+            Phase::Send => 2,
+            Phase::Healing => 3,
+            Phase::Monitor => 4,
+            Phase::Reconfig => 5,
+            Phase::Sampling => 6,
+            Phase::Io => 7,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct PhaseCell {
+    pub enters: AtomicU64,
+    pub wall_ns: AtomicU64,
+    pub bits: AtomicU64,
+    pub msgs: AtomicU64,
+}
+
+/// Per-phase accumulators, updated lock-free.
+#[derive(Debug, Default)]
+pub struct RoundProfiler {
+    pub(crate) cells: [PhaseCell; Phase::ALL.len()],
+}
+
+impl RoundProfiler {
+    /// Count one phase entry.
+    pub(crate) fn enter(&self, phase: Phase) {
+        self.cells[phase.index()].enters.fetch_add(1, ORD);
+    }
+
+    /// Add measured wall-clock time.
+    pub(crate) fn add_wall_ns(&self, phase: Phase, ns: u64) {
+        self.cells[phase.index()].wall_ns.fetch_add(ns, ORD);
+    }
+
+    /// Attribute communication work to a phase.
+    pub(crate) fn add_work(&self, phase: Phase, bits: u64, msgs: u64) {
+        let cell = &self.cells[phase.index()];
+        cell.bits.fetch_add(bits, ORD);
+        cell.msgs.fetch_add(msgs, ORD);
+    }
+
+    /// Deterministic copy. `timing` controls whether wall-clock totals are
+    /// included (they are zeroed otherwise, keeping exports byte-stable).
+    pub fn snapshot(&self, timing: bool) -> ProfilerSnapshot {
+        ProfilerSnapshot {
+            phases: Phase::ALL
+                .iter()
+                .map(|&p| {
+                    let cell = &self.cells[p.index()];
+                    PhaseStat {
+                        phase: p,
+                        enters: cell.enters.load(ORD),
+                        wall_ns: if timing { cell.wall_ns.load(ORD) } else { 0 },
+                        bits: cell.bits.load(ORD),
+                        msgs: cell.msgs.load(ORD),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One phase's accumulated totals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// The phase.
+    pub phase: Phase,
+    /// Times the phase was entered.
+    pub enters: u64,
+    /// Accumulated wall-clock nanoseconds (0 with timing off).
+    pub wall_ns: u64,
+    /// Bits of communication work attributed to the phase.
+    pub bits: u64,
+    /// Message events attributed to the phase.
+    pub msgs: u64,
+}
+
+/// Point-in-time copy of the profiler, in fixed phase order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfilerSnapshot {
+    /// One entry per [`Phase::ALL`] member, in that order.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl ProfilerSnapshot {
+    /// The totals for `phase` (all zeros when the phase never ran or the
+    /// profile is empty).
+    pub fn stat(&self, phase: Phase) -> PhaseStat {
+        self.phases.iter().copied().find(|p| p.phase == phase).unwrap_or(PhaseStat {
+            phase,
+            enters: 0,
+            wall_ns: 0,
+            bits: 0,
+            msgs: 0,
+        })
+    }
+
+    /// Phases actually entered, hottest first (by wall-clock when timed,
+    /// by enter count otherwise).
+    pub fn hottest(&self) -> Vec<PhaseStat> {
+        let mut v: Vec<PhaseStat> = self.phases.iter().copied().filter(|p| p.enters > 0).collect();
+        let timed = v.iter().any(|p| p.wall_ns > 0);
+        if timed {
+            v.sort_by_key(|p| std::cmp::Reverse(p.wall_ns));
+        } else {
+            v.sort_by_key(|p| std::cmp::Reverse(p.enters));
+        }
+        v
+    }
+
+    /// Merge another profile in (element-wise addition).
+    pub fn merge(&mut self, other: &ProfilerSnapshot) {
+        if self.phases.is_empty() {
+            self.phases = other.phases.clone();
+            return;
+        }
+        for stat in &other.phases {
+            if let Some(mine) = self.phases.iter_mut().find(|p| p.phase == stat.phase) {
+                mine.enters += stat.enters;
+                mine.wall_ns += stat.wall_ns;
+                mine.bits += stat.bits;
+                mine.msgs += stat.msgs;
+            } else {
+                self.phases.push(*stat);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_snapshot() {
+        let p = RoundProfiler::default();
+        p.enter(Phase::Deliver);
+        p.enter(Phase::Deliver);
+        p.add_work(Phase::Deliver, 128, 2);
+        p.add_wall_ns(Phase::Deliver, 500);
+        let timed = p.snapshot(true);
+        let stat = timed.phases[Phase::Deliver.index()];
+        assert_eq!((stat.enters, stat.bits, stat.msgs, stat.wall_ns), (2, 128, 2, 500));
+        let untimed = p.snapshot(false);
+        assert_eq!(untimed.phases[Phase::Deliver.index()].wall_ns, 0, "timing off zeroes wall");
+    }
+
+    #[test]
+    fn hottest_sorts_by_wall_then_enters() {
+        let p = RoundProfiler::default();
+        p.enter(Phase::Deliver);
+        p.enter(Phase::Compute);
+        p.enter(Phase::Compute);
+        let untimed = p.snapshot(false).hottest();
+        assert_eq!(untimed[0].phase, Phase::Compute);
+        p.add_wall_ns(Phase::Deliver, 999);
+        p.add_wall_ns(Phase::Compute, 1);
+        let timed = p.snapshot(true).hottest();
+        assert_eq!(timed[0].phase, Phase::Deliver);
+    }
+
+    #[test]
+    fn profile_merge_adds() {
+        let a = RoundProfiler::default();
+        a.enter(Phase::Send);
+        a.add_work(Phase::Send, 10, 1);
+        let b = RoundProfiler::default();
+        b.enter(Phase::Send);
+        b.add_work(Phase::Send, 5, 2);
+        let mut s = a.snapshot(false);
+        s.merge(&b.snapshot(false));
+        let stat = s.phases[Phase::Send.index()];
+        assert_eq!((stat.enters, stat.bits, stat.msgs), (2, 15, 3));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::from_name("nope"), None);
+    }
+}

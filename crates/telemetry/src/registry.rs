@@ -1,0 +1,577 @@
+//! The metrics registry: named counters, gauges and log-bucketed
+//! histograms with labels, an atomic hot path, and deterministic
+//! snapshot/merge.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of an
+//! `Arc`ed atomic cell; obtaining one takes the registry lock once, after
+//! which every update is lock-free. A handle obtained from a disabled
+//! recorder carries no cell and every operation is a single branch — the
+//! zero-overhead-when-disabled guarantee.
+//!
+//! Snapshots order metrics by their canonical key (`name{k=v,...}` with
+//! sorted label keys), so two runs that record the same values produce
+//! byte-identical exports regardless of registration order or thread
+//! schedule.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Relaxed is enough everywhere: metrics are monotone accumulations read
+/// after the workers they observe have joined, and nothing branches on
+/// them mid-run.
+const ORD: Ordering = Ordering::Relaxed;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i >= 1`
+/// holds values in `[2^(i-1), 2^i)`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index of a value under the log-2 bucketing rule.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the value a percentile estimate
+/// reports for a sample landing in that bucket).
+pub fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Render the canonical metric key: `name` alone, or `name{k=v,...}` with
+/// label keys in sorted order.
+pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::with_capacity(name.len() + 16 * sorted.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+/// A monotone counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that ignores every update (disabled recorder).
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, ORD);
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(ORD))
+    }
+}
+
+/// A last-value-or-maximum gauge. `set` overwrites; `record_max` keeps the
+/// running maximum — the shape the paper's per-round work bounds need.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A handle that ignores every update (disabled recorder).
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(c) = &self.0 {
+            c.store(v, ORD);
+        }
+    }
+
+    /// Keep the maximum of the current value and `v`.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_max(v, ORD);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(ORD))
+    }
+}
+
+#[derive(Debug)]
+struct HistCell {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCell {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-2-bucketed histogram of `u64` samples.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistCell>>);
+
+impl Histogram {
+    /// A handle that ignores every update (disabled recorder).
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(c) = &self.0 {
+            c.buckets[bucket_of(v)].fetch_add(1, ORD);
+            c.count.fetch_add(1, ORD);
+            c.sum.fetch_add(v, ORD);
+            c.min.fetch_min(v, ORD);
+            c.max.fetch_max(v, ORD);
+        }
+    }
+
+    /// Number of recorded samples (0 for a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.count.load(ORD))
+    }
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistCell>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The named-metric table. Handle lookup locks; updates do not.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter handle for `name{labels}`, registering it on first use.
+    /// Panics if the key is already registered as a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = metric_key(name, labels);
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(key).or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0)))) {
+            Metric::Counter(c) => Counter(Some(Arc::clone(c))),
+            other => panic!(
+                "metric `{}` already registered as {}",
+                metric_key(name, labels),
+                other.kind()
+            ),
+        }
+    }
+
+    /// Gauge handle for `name{labels}` (same registration rules).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = metric_key(name, labels);
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(key).or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0)))) {
+            Metric::Gauge(g) => Gauge(Some(Arc::clone(g))),
+            other => panic!(
+                "metric `{}` already registered as {}",
+                metric_key(name, labels),
+                other.kind()
+            ),
+        }
+    }
+
+    /// Histogram handle for `name{labels}` (same registration rules).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = metric_key(name, labels);
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(key).or_insert_with(|| Metric::Histogram(Arc::new(HistCell::new()))) {
+            Metric::Histogram(h) => Histogram(Some(Arc::clone(h))),
+            other => panic!(
+                "metric `{}` already registered as {}",
+                metric_key(name, labels),
+                other.kind()
+            ),
+        }
+    }
+
+    /// Deterministic point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock().unwrap();
+        let mut snap = Snapshot::default();
+        for (key, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(key.clone(), c.load(ORD));
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(key.clone(), g.load(ORD));
+                }
+                Metric::Histogram(h) => {
+                    let mut buckets: Vec<u64> = h.buckets.iter().map(|b| b.load(ORD)).collect();
+                    while buckets.last() == Some(&0) {
+                        buckets.pop();
+                    }
+                    let count = h.count.load(ORD);
+                    snap.histograms.insert(
+                        key.clone(),
+                        HistSnapshot {
+                            buckets,
+                            count,
+                            sum: h.sum.load(ORD),
+                            min: if count == 0 { 0 } else { h.min.load(ORD) },
+                            max: h.max.load(ORD),
+                        },
+                    );
+                }
+            }
+        }
+        snap
+    }
+
+    /// Fold a snapshot into the live registry: counters add, gauges keep
+    /// the maximum, histogram buckets add. This is how a per-run worker
+    /// collector folds into a long-lived aggregate recorder.
+    pub fn absorb(&self, snap: &Snapshot) {
+        for (key, &v) in &snap.counters {
+            let mut m = self.metrics.lock().unwrap();
+            match m
+                .entry(key.clone())
+                .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+            {
+                Metric::Counter(c) => {
+                    c.fetch_add(v, ORD);
+                }
+                other => panic!("metric `{key}` already registered as {}", other.kind()),
+            }
+        }
+        for (key, &v) in &snap.gauges {
+            let mut m = self.metrics.lock().unwrap();
+            match m.entry(key.clone()).or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0))))
+            {
+                Metric::Gauge(g) => {
+                    g.fetch_max(v, ORD);
+                }
+                other => panic!("metric `{key}` already registered as {}", other.kind()),
+            }
+        }
+        for (key, h) in &snap.histograms {
+            let mut m = self.metrics.lock().unwrap();
+            match m
+                .entry(key.clone())
+                .or_insert_with(|| Metric::Histogram(Arc::new(HistCell::new())))
+            {
+                Metric::Histogram(cell) => {
+                    for (i, &b) in h.buckets.iter().enumerate().take(HIST_BUCKETS) {
+                        cell.buckets[i].fetch_add(b, ORD);
+                    }
+                    cell.count.fetch_add(h.count, ORD);
+                    cell.sum.fetch_add(h.sum, ORD);
+                    if h.count > 0 {
+                        cell.min.fetch_min(h.min, ORD);
+                        cell.max.fetch_max(h.max, ORD);
+                    }
+                }
+                other => panic!("metric `{key}` already registered as {}", other.kind()),
+            }
+        }
+    }
+}
+
+/// Exported state of one histogram: trimmed bucket counts plus exact
+/// aggregates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Bucket counts under [`bucket_of`], trailing zeros trimmed.
+    pub buckets: Vec<u64>,
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Mean sample value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Merge another histogram in (bucket-wise addition; bucket vectors of
+    /// different lengths pad the shorter one).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &b) in other.buckets.iter().enumerate() {
+            self.buckets[i] += b;
+        }
+        if other.count > 0 {
+            self.min = if self.count == 0 { other.min } else { self.min.min(other.min) };
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A deterministic point-in-time copy of a registry, mergeable across
+/// rayon workers and serializable by the export layer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by canonical key.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by canonical key.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by canonical key.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value by canonical key (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by canonical key (0 when absent).
+    pub fn gauge(&self, key: &str) -> u64 {
+        self.gauges.get(key).copied().unwrap_or(0)
+    }
+
+    /// Histogram by canonical key.
+    pub fn histogram(&self, key: &str) -> Option<&HistSnapshot> {
+        self.histograms.get(key)
+    }
+
+    /// Merge another snapshot in: counters add, gauges keep the maximum,
+    /// histograms merge bucket-wise. The merge is associative and
+    /// commutative, so per-worker snapshots can fold in any order.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(0);
+            *e = (*e).max(v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn keys_are_canonical() {
+        assert_eq!(metric_key("x", &[]), "x");
+        assert_eq!(metric_key("x", &[("b", "2"), ("a", "1")]), "x{a=1,b=2}", "labels must sort");
+    }
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("msgs", &[("family", "dos")]);
+        c.add(3);
+        c.inc();
+        let g = r.gauge("peak", &[]);
+        g.record_max(10);
+        g.record_max(7);
+        let h = r.histogram("bits", &[]);
+        h.record(0);
+        h.record(5);
+        h.record(1000);
+
+        let s = r.snapshot();
+        assert_eq!(s.counter("msgs{family=dos}"), 4);
+        assert_eq!(s.gauge("peak"), 10);
+        let hs = s.histogram("bits").unwrap();
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 1005);
+        assert_eq!(hs.min, 0);
+        assert_eq!(hs.max, 1000);
+        assert_eq!(hs.buckets[0], 1); // the zero
+        assert_eq!(hs.buckets[bucket_of(5)], 1);
+        assert_eq!(hs.buckets[bucket_of(1000)], 1);
+    }
+
+    #[test]
+    fn same_key_returns_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("x", &[("k", "v")]);
+        let b = r.counter("x", &[("k", "v")]);
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.snapshot().counter("x{k=v}"), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x", &[]);
+        let _ = r.gauge("x", &[]);
+    }
+
+    #[test]
+    fn noop_handles_record_nothing() {
+        let c = Counter::noop();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.record_max(9);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::noop();
+        h.record(1);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative() {
+        let mk = |c: u64, g: u64, samples: &[u64]| {
+            let r = Registry::new();
+            r.counter("c", &[]).add(c);
+            r.gauge("g", &[]).record_max(g);
+            let h = r.histogram("h", &[]);
+            for &s in samples {
+                h.record(s);
+            }
+            r.snapshot()
+        };
+        let a = mk(1, 10, &[1, 2, 300]);
+        let b = mk(5, 3, &[4]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("c"), 6);
+        assert_eq!(ab.gauge("g"), 10);
+        assert_eq!(ab.histogram("h").unwrap().count, 4);
+        assert_eq!(ab.histogram("h").unwrap().min, 1);
+        assert_eq!(ab.histogram("h").unwrap().max, 300);
+    }
+
+    #[test]
+    fn registry_absorbs_snapshots() {
+        let parent = Registry::new();
+        parent.counter("c", &[]).add(10);
+        let worker = Registry::new();
+        worker.counter("c", &[]).add(5);
+        worker.gauge("g", &[]).record_max(7);
+        worker.histogram("h", &[]).record(3);
+        parent.absorb(&worker.snapshot());
+        let s = parent.snapshot();
+        assert_eq!(s.counter("c"), 15);
+        assert_eq!(s.gauge("g"), 7);
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn concurrent_updates_are_counted_exactly() {
+        let r = std::sync::Arc::new(Registry::new());
+        let c = r.counter("n", &[]);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.snapshot().counter("n"), 4000);
+    }
+}

@@ -1,0 +1,234 @@
+//! Structured spans and typed protocol events.
+//!
+//! Events subsume and extend the simulator's `TraceEvent` vocabulary with
+//! the protocol-level milestones the overlay stack emits: sampling
+//! started/finished, epochs, healing actions, invariant violations,
+//! adversary decisions, checkpoints. They land in a bounded ring buffer —
+//! the newest events win and evictions are counted, so a report always
+//! states exactly how much it is missing.
+//!
+//! Spans are scoped timers: a [`Span`] guard bumps a per-name invocation
+//! counter on drop and, when wall-clock timing is on, records the elapsed
+//! nanoseconds into a per-name histogram. With timing off a span leaves
+//! only the deterministic count.
+
+use std::collections::VecDeque;
+
+/// The typed event vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A node joined the simulation (subsumes `TraceEvent::NodeAdded`).
+    NodeAdded,
+    /// A node left the simulation (subsumes `TraceEvent::NodeRemoved`).
+    NodeRemoved,
+    /// A node completed crash-recovery (subsumes `TraceEvent::NodeRecovered`).
+    NodeRecovered,
+    /// A sampling primitive started.
+    SamplingStarted,
+    /// A sampling primitive delivered its samples.
+    SamplingFinished,
+    /// A reconfiguration epoch completed (successfully or not).
+    EpochFinished,
+    /// A bridge/wiring structure was built during reconfiguration.
+    BridgeBuilt,
+    /// A member missed a reconfiguration broadcast.
+    Desync,
+    /// A healing re-request attempt was sent.
+    RetryAttempt,
+    /// A re-request succeeded; the member is synchronized again.
+    Resync,
+    /// A member's retry budget ran out.
+    RetryExhausted,
+    /// A member was evicted (stale heartbeat or exhausted retries).
+    Eviction,
+    /// A recovered node was re-admitted via the join path.
+    Rejoin,
+    /// A crash was injected.
+    Crash,
+    /// An invariant monitor recorded a violation.
+    Violation,
+    /// An adversary spent blocking budget.
+    BudgetSpend,
+    /// An adversary strategy made a decision.
+    StrategyChoice,
+    /// A checkpoint was written or restored.
+    Checkpoint,
+    /// Anything else; the name travels in the event detail.
+    Custom,
+}
+
+impl EventKind {
+    /// Stable lower-kebab name used in exports and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::NodeAdded => "node-added",
+            EventKind::NodeRemoved => "node-removed",
+            EventKind::NodeRecovered => "node-recovered",
+            EventKind::SamplingStarted => "sampling-started",
+            EventKind::SamplingFinished => "sampling-finished",
+            EventKind::EpochFinished => "epoch-finished",
+            EventKind::BridgeBuilt => "bridge-built",
+            EventKind::Desync => "desync",
+            EventKind::RetryAttempt => "retry-attempt",
+            EventKind::Resync => "resync",
+            EventKind::RetryExhausted => "retry-exhausted",
+            EventKind::Eviction => "eviction",
+            EventKind::Rejoin => "rejoin",
+            EventKind::Crash => "crash",
+            EventKind::Violation => "violation",
+            EventKind::BudgetSpend => "budget-spend",
+            EventKind::StrategyChoice => "strategy-choice",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Custom => "custom",
+        }
+    }
+
+    /// Parse an exported name back (for report tooling).
+    pub fn from_name(s: &str) -> Option<Self> {
+        const ALL: [EventKind; 19] = [
+            EventKind::NodeAdded,
+            EventKind::NodeRemoved,
+            EventKind::NodeRecovered,
+            EventKind::SamplingStarted,
+            EventKind::SamplingFinished,
+            EventKind::EpochFinished,
+            EventKind::BridgeBuilt,
+            EventKind::Desync,
+            EventKind::RetryAttempt,
+            EventKind::Resync,
+            EventKind::RetryExhausted,
+            EventKind::Eviction,
+            EventKind::Rejoin,
+            EventKind::Crash,
+            EventKind::Violation,
+            EventKind::BudgetSpend,
+            EventKind::StrategyChoice,
+            EventKind::Checkpoint,
+            EventKind::Custom,
+        ];
+        ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number (assigned at record time; gaps never occur
+    /// — evicted events are counted, not renumbered).
+    pub seq: u64,
+    /// Simulation round (or epoch, for epoch-granularity emitters).
+    pub round: u64,
+    /// Event type.
+    pub kind: EventKind,
+    /// The node concerned, when there is one.
+    pub node: Option<u64>,
+    /// A free numeric payload (budget spent, retry attempt index, ...).
+    pub value: u64,
+    /// Short human-readable context.
+    pub detail: String,
+}
+
+/// Bounded event ring: keeps the most recent `cap` events and counts what
+/// it had to evict.
+#[derive(Debug)]
+pub struct EventRing {
+    cap: usize,
+    next_seq: u64,
+    /// Events evicted because the ring was full.
+    pub overflow: u64,
+    buf: VecDeque<Event>,
+}
+
+impl EventRing {
+    /// Ring holding up to `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Self { cap, next_seq: 0, overflow: 0, buf: VecDeque::new() }
+    }
+
+    /// Record one event, evicting the oldest when full.
+    pub fn push(
+        &mut self,
+        round: u64,
+        kind: EventKind,
+        node: Option<u64>,
+        value: u64,
+        detail: String,
+    ) {
+        let ev = Event { seq: self.next_seq, round, kind, node, value, detail };
+        self.next_seq += 1;
+        if self.cap == 0 {
+            self.overflow += 1;
+            return;
+        }
+        if self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            self.overflow += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded (retained + evicted).
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_counts_evictions() {
+        let mut r = EventRing::new(3);
+        for i in 0..5u64 {
+            r.push(i, EventKind::Eviction, Some(i), 0, String::new());
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overflow, 2);
+        assert_eq!(r.total(), 5);
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "newest events survive");
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_as_overflow() {
+        let mut r = EventRing::new(0);
+        r.push(0, EventKind::Crash, None, 0, String::new());
+        assert!(r.is_empty());
+        assert_eq!(r.overflow, 1);
+        assert_eq!(r.total(), 1);
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in [
+            EventKind::NodeAdded,
+            EventKind::SamplingStarted,
+            EventKind::EpochFinished,
+            EventKind::Desync,
+            EventKind::Violation,
+            EventKind::BudgetSpend,
+            EventKind::StrategyChoice,
+            EventKind::Checkpoint,
+            EventKind::Custom,
+        ] {
+            assert_eq!(EventKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::from_name("no-such-kind"), None);
+    }
+}

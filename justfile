@@ -24,6 +24,11 @@ test:
 # Determinism harness only: goldens + serial/parallel differential.
 determinism:
     cargo test -q -p integration-tests --test determinism
+    cargo test -q -p integration-tests --test telemetry_determinism
+
+# Render the telemetry captured by experiment binaries (results/*_telemetry.json).
+trace-report *flags="":
+    cargo run --release -p reconfig-bench --bin trace-report -- {{flags}}
 
 # Refresh golden digest files after an intentional behavior change.
 golden:

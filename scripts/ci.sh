@@ -28,6 +28,9 @@ cargo test --workspace -q
 echo "==> determinism harness"
 cargo test -q -p integration-tests --test determinism
 
+echo "==> telemetry determinism guard (observed runs match committed goldens)"
+cargo test -q -p integration-tests --test telemetry_determinism
+
 echo "==> checkpoint/resume digest identity"
 cargo test -q -p integration-tests --test checkpoint_resume
 
