@@ -1,0 +1,379 @@
+//! S1 — engine scaling: the sharded `simnet-xl` backend vs the legacy
+//! engine, n = 10⁴ → 10⁶.
+//!
+//! Two protocol families bracket the engines' cost model:
+//!
+//! * **hgraph** — a token-walk over a degree-8 H-graph in which every node
+//!   has a finite, staggered activity budget and goes permanently
+//!   quiescent when it runs out. The active population decays to zero
+//!   midway through the run, so the tail rounds cost O(active) on the
+//!   sharded backend and O(n) on the legacy one — the workload shape of
+//!   the Algorithm 1 samplers.
+//! * **churndos** — an always-on gossip mesh under per-round DoS blocks
+//!   and periodic churn, the ChurnDos overlay's shape. No node is ever
+//!   quiescent, so this measures raw per-round throughput of the
+//!   structure-of-arrays state against the legacy boxed slots.
+//!
+//! Both backends execute the identical protocol from the identical seed,
+//! so their digest streams must match; `--smoke` (n = 5·10⁴, used by the
+//! CI `s1-smoke` job) runs both families with digests enabled and asserts
+//! byte-for-byte parity before reporting timings. The full sweep writes
+//! `results/s1.json` plus `BENCH_S1.json` at the workspace root — the
+//! first point of the perf trajectory.
+//!
+//! Timings exclude setup (graph construction, node insertion): the
+//! claim under test is steady-state rounds/sec, not build cost.
+
+use overlay_graphs::HGraph;
+use rand::RngExt;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use reconfig_bench::{table::f, write_json, write_telemetry, ExperimentResult, Table};
+use reconfig_core::backend::{AnyNet, Backend};
+use simnet::{BlockSet, Ctx, NodeId, Protocol, RoundDigest, SimEngine};
+use std::time::Instant;
+
+const SEED: u64 = 0x51_5CA1E;
+
+// ---------------------------------------------------------------------------
+// Family 1: hgraph — token walk with decaying activity
+// ---------------------------------------------------------------------------
+
+/// Walks tokens over static H-graph neighbor lists until its activity
+/// budget runs out, then goes dark forever (the sampler workload shape).
+struct WalkNode {
+    peers: Vec<NodeId>,
+    acc: u64,
+    budget: u32,
+}
+
+impl Protocol for WalkNode {
+    type Msg = u64;
+
+    fn digest(&self, d: &mut simnet::Digest) {
+        d.write_u64(self.acc).write_u64(self.budget as u64);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if self.budget == 0 {
+            return;
+        }
+        self.budget -= 1;
+        for env in ctx.take_inbox() {
+            self.acc = self.acc.rotate_left(7) ^ env.msg;
+        }
+        for _ in 0..2 {
+            let peer = self.peers[ctx.rng().random_range(0..self.peers.len())];
+            let msg = self.acc ^ ctx.rng().random::<u64>();
+            ctx.send(peer, msg);
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.budget == 0
+    }
+}
+
+/// Per-node neighbor lists of a random degree-8 H-graph, extracted by
+/// walking each Hamilton cycle once (O(n·d)) so the graph itself can be
+/// dropped before the large-n runs.
+fn hgraph_peers(n: usize) -> Vec<Vec<NodeId>> {
+    let nodes: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let graph = HGraph::random(&nodes, 8, &mut rng);
+    let mut peers = vec![Vec::with_capacity(graph.degree()); n];
+    for cycle in graph.cycles() {
+        let order = cycle.order();
+        let m = order.len();
+        for (i, &v) in order.iter().enumerate() {
+            peers[v.raw() as usize].push(order[(i + 1) % m]);
+            peers[v.raw() as usize].push(order[(i + m - 1) % m]);
+        }
+    }
+    peers
+}
+
+/// Staggered budget: the active population decays linearly to zero over
+/// the first ~30 rounds, leaving a long all-quiescent tail.
+fn walk_budget(i: u64) -> u32 {
+    6 + (i % 24) as u32
+}
+
+fn run_hgraph(
+    backend: Backend,
+    peers: &[Vec<NodeId>],
+    rounds: u64,
+    digests: bool,
+    tel: &telemetry::Telemetry,
+) -> RunOut {
+    let n = peers.len();
+    let mut net: AnyNet<WalkNode> = backend.build(SEED);
+    net.set_telemetry(tel.clone());
+    for (i, p) in peers.iter().enumerate() {
+        let id = NodeId(i as u64);
+        net.add_node(
+            id,
+            WalkNode { peers: p.clone(), acc: i as u64, budget: walk_budget(i as u64) },
+        );
+    }
+    if digests {
+        net.enable_digests();
+    }
+    let start = Instant::now();
+    net.run(rounds);
+    finish(net, n, rounds, start)
+}
+
+// ---------------------------------------------------------------------------
+// Family 2: churndos — always-on gossip under blocks and churn
+// ---------------------------------------------------------------------------
+
+/// Gossips two messages to uniformly random members every round, forever
+/// — nothing is ever quiescent, so every node is touched every round.
+struct GossipNode {
+    span: u64,
+    acc: u64,
+}
+
+impl Protocol for GossipNode {
+    type Msg = u64;
+
+    fn digest(&self, d: &mut simnet::Digest) {
+        d.write_u64(self.acc);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) {
+        for env in ctx.take_inbox() {
+            self.acc = self.acc.wrapping_mul(0x100_0000_01b3) ^ env.msg;
+        }
+        for _ in 0..2 {
+            let to = NodeId(ctx.rng().random_range(0..self.span));
+            let msg = self.acc ^ ctx.rng().random::<u64>();
+            ctx.send(to, msg);
+        }
+    }
+
+    fn on_crash_recover(&mut self) {
+        self.acc = 0;
+    }
+}
+
+/// Per-round DoS block sets at the given rate, drawn from a dedicated
+/// stream so both backends consume identical schedules.
+fn block_schedule(n: u64, rounds: u64, rate: f64) -> Vec<BlockSet> {
+    let mut rng = simnet::rng::stream(SEED, 9, 0xD05);
+    (0..rounds)
+        .map(|_| {
+            let mut b = BlockSet::none();
+            for id in 0..n {
+                if rng.random::<f64>() < rate {
+                    b.insert(NodeId(id));
+                }
+            }
+            b
+        })
+        .collect()
+}
+
+fn run_churndos(
+    backend: Backend,
+    n: u64,
+    blocks: &[BlockSet],
+    digests: bool,
+    tel: &telemetry::Telemetry,
+) -> RunOut {
+    let mut net: AnyNet<GossipNode> = backend.build(SEED ^ 0xCD);
+    net.set_telemetry(tel.clone());
+    for i in 0..n {
+        net.add_node(NodeId(i), GossipNode { span: n, acc: i });
+    }
+    if digests {
+        net.enable_digests();
+    }
+    let rounds = blocks.len() as u64;
+    let start = Instant::now();
+    for (r, blocked) in blocks.iter().enumerate() {
+        let r = r as u64;
+        if r % 6 == 5 {
+            // Churn burst: four members leave, four fresh ids join.
+            for k in 0..4u64 {
+                net.remove_node(NodeId((r * 131 + k * 17) % n));
+                net.add_node(NodeId(n + r * 4 + k), GossipNode { span: n, acc: r ^ k });
+            }
+        }
+        net.step_blocked(blocked);
+    }
+    finish(net, n as usize, rounds, start)
+}
+
+// ---------------------------------------------------------------------------
+// Measurement plumbing
+// ---------------------------------------------------------------------------
+
+struct RunOut {
+    elapsed_s: f64,
+    rounds_per_sec: f64,
+    bytes_per_node: f64,
+    digests: Vec<RoundDigest>,
+    shards: usize,
+}
+
+fn finish<P: Protocol>(net: AnyNet<P>, n: usize, rounds: u64, start: Instant) -> RunOut {
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let shards = match net.backend() {
+        Backend::Legacy => 0,
+        Backend::Xl { shards } => shards,
+    };
+    RunOut {
+        elapsed_s,
+        rounds_per_sec: rounds as f64 / elapsed_s.max(1e-9),
+        bytes_per_node: net.stats().total_bits() as f64 / 8.0 / n as f64,
+        digests: net.trace().digests().to_vec(),
+        shards,
+    }
+}
+
+fn backend_label(b: Backend, shards: usize) -> String {
+    match b {
+        Backend::Legacy => "legacy".into(),
+        Backend::Xl { .. } => format!("xl:{shards}"),
+    }
+}
+
+struct Row {
+    family: &'static str,
+    n: usize,
+    backend: Backend,
+    out: RunOut,
+}
+
+fn sweep(
+    families: &[(&'static str, usize, u64)],
+    digests: bool,
+    tel: &telemetry::Telemetry,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &(family, n, rounds) in families {
+        let peers = if family == "hgraph" { hgraph_peers(n) } else { Vec::new() };
+        let blocks =
+            if family == "churndos" { block_schedule(n as u64, rounds, 0.08) } else { Vec::new() };
+        for backend in [Backend::Legacy, Backend::Xl { shards: 0 }] {
+            let out = match family {
+                "hgraph" => run_hgraph(backend, &peers, rounds, digests, tel),
+                _ => run_churndos(backend, n as u64, &blocks, digests, tel),
+            };
+            eprintln!(
+                "  {family} n={n} {}: {:.2}s ({:.1} rounds/s)",
+                backend_label(backend, out.shards),
+                out.elapsed_s,
+                out.rounds_per_sec
+            );
+            rows.push(Row { family, n, backend, out });
+        }
+    }
+    rows
+}
+
+/// Assert digest parity between consecutive (legacy, xl) row pairs.
+fn assert_parity(rows: &[Row]) {
+    for pair in rows.chunks(2) {
+        let [legacy, xl] = pair else { panic!("rows must pair legacy/xl") };
+        assert!(!legacy.out.digests.is_empty(), "digests were not captured");
+        assert_eq!(
+            legacy.out.digests, xl.out.digests,
+            "digest divergence: {} n={} legacy vs xl",
+            legacy.family, legacy.n
+        );
+    }
+}
+
+fn print_rows(rows: &[Row]) -> Vec<serde_json::Value> {
+    let mut t = Table::new(
+        "S1: engine scaling (rounds/sec, higher is better)",
+        &["family", "n", "backend", "elapsed s", "rounds/s", "bytes/node", "xl speedup"],
+    );
+    let mut json_rows = Vec::new();
+    for pair in rows.chunks(2) {
+        let speedup = if pair.len() == 2 {
+            pair[1].out.rounds_per_sec / pair[0].out.rounds_per_sec
+        } else {
+            f64::NAN
+        };
+        for r in pair {
+            let is_xl = matches!(r.backend, Backend::Xl { .. });
+            t.row(vec![
+                r.family.into(),
+                r.n.to_string(),
+                backend_label(r.backend, r.out.shards),
+                f(r.out.elapsed_s),
+                format!("{:.1}", r.out.rounds_per_sec),
+                format!("{:.0}", r.out.bytes_per_node),
+                if is_xl { format!("{speedup:.2}x") } else { "-".into() },
+            ]);
+            json_rows.push(serde_json::json!({
+                "family": r.family,
+                "n": r.n,
+                "backend": backend_label(r.backend, r.out.shards),
+                "shards": r.out.shards,
+                "elapsed_s": r.out.elapsed_s,
+                "rounds_per_sec": r.out.rounds_per_sec,
+                "bytes_per_node": r.out.bytes_per_node,
+                "speedup_vs_legacy": if is_xl { speedup } else { 1.0 },
+            }));
+        }
+    }
+    t.print();
+    json_rows
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let tel = reconfig_bench::experiment_telemetry();
+
+    if smoke {
+        // CI gate: both backends at n = 5·10⁴ with digests on; parity is
+        // asserted before any timing is reported.
+        let families = [("hgraph", 50_000usize, 24u64), ("churndos", 50_000, 12)];
+        let rows = sweep(&families, true, &tel);
+        assert_parity(&rows);
+        print_rows(&rows);
+        println!("s1-smoke: digest parity holds for both families at n=5e4");
+        return;
+    }
+
+    let families = [
+        ("hgraph", 10_000usize, 48u64),
+        ("hgraph", 100_000, 48),
+        ("hgraph", 1_000_000, 48),
+        ("churndos", 10_000, 24),
+        ("churndos", 100_000, 24),
+    ];
+    let rows = sweep(&families, false, &tel);
+    let json_rows = print_rows(&rows);
+
+    let result = ExperimentResult {
+        id: "S1".into(),
+        title: "Engine scaling: simnet-xl vs legacy".into(),
+        claim: "sharded backend reaches n=1e6; strictly faster at n>=1e5".into(),
+        rows: json_rows.clone(),
+    };
+    let path = write_json(&result).expect("write results");
+    println!("json: {}", path.display());
+
+    let bench = serde_json::json!({
+        "bench": "S1",
+        "title": result.title,
+        "cores": std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+        "rows": json_rows,
+    });
+    let bench_path = "BENCH_S1.json";
+    std::fs::write(bench_path, serde_json::to_string_pretty(&bench).expect("serialize") + "\n")
+        .expect("write BENCH_S1.json");
+    println!("bench: {bench_path}");
+
+    if let Some(tpath) =
+        write_telemetry("S1", &tel, &[("claim", "engine scaling")]).expect("telemetry")
+    {
+        println!("telemetry: {tpath:?}");
+    }
+}

@@ -24,64 +24,13 @@
 //! ```
 
 use overlay_stats::BucketHistogram;
-use reconfig_bench::{ExperimentResult, Table};
+use reconfig_bench::report::{collect_paths, load_run};
+use reconfig_bench::{LoadedRun, Table};
 use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
-use telemetry::RunTelemetry;
-
-struct LoadedRun {
-    path: PathBuf,
-    run: RunTelemetry,
-    /// Title/claim from the sibling `results/<id>.json`, when present.
-    result: Option<ExperimentResult>,
-}
+use std::path::PathBuf;
 
 fn results_dir() -> PathBuf {
     PathBuf::from(std::env::var("OUT_DIR_RESULTS").unwrap_or_else(|_| "results".to_string()))
-}
-
-/// Collect telemetry files from the CLI arguments (files taken verbatim,
-/// directories scanned for `*_telemetry.json`); defaults to the results dir.
-fn telemetry_paths(args: &[String]) -> Vec<PathBuf> {
-    let mut paths = Vec::new();
-    let scan_dir = |dir: &Path, paths: &mut Vec<PathBuf>| {
-        let Ok(entries) = std::fs::read_dir(dir) else {
-            return;
-        };
-        for entry in entries.flatten() {
-            let p = entry.path();
-            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name.ends_with("_telemetry.json") {
-                paths.push(p);
-            }
-        }
-    };
-    if args.is_empty() {
-        scan_dir(&results_dir(), &mut paths);
-    } else {
-        for a in args {
-            let p = PathBuf::from(a);
-            if p.is_dir() {
-                scan_dir(&p, &mut paths);
-            } else {
-                paths.push(p);
-            }
-        }
-    }
-    paths.sort();
-    paths
-}
-
-fn load(path: &Path) -> Result<LoadedRun, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let run = RunTelemetry::from_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-    let result = run.meta("experiment").and_then(|id| {
-        let sibling = path.with_file_name(format!("{}.json", id.to_lowercase()));
-        let text = std::fs::read_to_string(sibling).ok()?;
-        let v = serde_json::from_str(&text).ok()?;
-        ExperimentResult::from_value(&v)
-    });
-    Ok(LoadedRun { path: path.to_path_buf(), run, result })
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -212,24 +161,24 @@ fn main() {
             top_k = args.remove(i).parse().unwrap_or(top_k);
         }
     }
-    let paths = telemetry_paths(&args);
-    if paths.is_empty() {
-        eprintln!(
-            "no *_telemetry.json files found under {} — run an experiment binary first \
-             (telemetry is on by default; TELEMETRY=off disables it)",
-            results_dir().display()
-        );
-        std::process::exit(1);
-    }
+    let paths = match collect_paths(&args, &results_dir()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("trace-report: {e}");
+            std::process::exit(1);
+        }
+    };
     let mut runs = Vec::new();
     for p in &paths {
-        match load(p) {
+        // A damaged capture (truncated by a killed run) is reported and
+        // skipped so one bad file doesn't hide the healthy ones.
+        match load_run(p) {
             Ok(l) => runs.push(l),
-            Err(e) => eprintln!("skipping {e}"),
+            Err(e) => eprintln!("trace-report: skipping: {e}"),
         }
     }
     if runs.is_empty() {
-        eprintln!("no readable telemetry files");
+        eprintln!("trace-report: no readable telemetry files ({} found, all damaged)", paths.len());
         std::process::exit(1);
     }
     for l in &runs {

@@ -4,10 +4,12 @@
 //! regenerate every checkable claim of the paper, and for the Criterion
 //! benches. See DESIGN.md section 3 for the experiment index.
 
+pub mod report;
 pub mod runner;
 pub mod table;
 pub mod telemetry_out;
 
+pub use report::{LoadedRun, ReportError};
 pub use runner::{write_json, ExperimentResult};
 pub use table::Table;
 pub use telemetry_out::{experiment_telemetry, write_telemetry};

@@ -1,0 +1,69 @@
+//! Simulation-backend selection for the overlay runners.
+//!
+//! All core runners that instantiate a simnet engine go through
+//! [`select`], so one knob switches the whole stack between the legacy
+//! boxed-slot engine and the sharded `simnet-xl` engine:
+//!
+//! * the `SIMNET_BACKEND` environment variable (`legacy`, `xl`,
+//!   `xl:<shards>`) picks the process-wide default;
+//! * [`with_backend`] overrides it for one scope on the current thread —
+//!   the mechanism tests and benchmarks use, since mutating the process
+//!   environment is racy under a multi-threaded test harness.
+//!
+//! Either engine produces the identical digest stream (see the `simnet-xl`
+//! crate docs), so the knob is a pure performance choice.
+
+pub use simnet_xl::{default_shards, AnyNet, Backend, XlNetwork, BACKEND_ENV};
+use std::cell::Cell;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<Backend>> = const { Cell::new(None) };
+}
+
+/// The backend new simulation runs on this thread should use: the
+/// innermost [`with_backend`] override if any, else [`Backend::from_env`].
+pub fn select() -> Backend {
+    OVERRIDE.with(Cell::get).unwrap_or_else(Backend::from_env)
+}
+
+/// Run `f` with [`select`] returning `backend` on this thread; the
+/// previous override (if any) is restored on exit, including on panic.
+pub fn with_backend<T>(backend: Backend, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Backend>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(backend))));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_nests_and_restores() {
+        // Note: no assertion on the un-overridden value — the process
+        // environment may legitimately set SIMNET_BACKEND.
+        with_backend(Backend::Xl { shards: 3 }, || {
+            assert_eq!(select(), Backend::Xl { shards: 3 });
+            with_backend(Backend::Legacy, || {
+                assert_eq!(select(), Backend::Legacy);
+            });
+            assert_eq!(select(), Backend::Xl { shards: 3 });
+        });
+    }
+
+    #[test]
+    fn override_survives_panic() {
+        with_backend(Backend::Xl { shards: 2 }, || {
+            let caught = std::panic::catch_unwind(|| {
+                with_backend(Backend::Legacy, || panic!("boom"));
+            });
+            assert!(caught.is_err());
+            assert_eq!(select(), Backend::Xl { shards: 2 });
+        });
+    }
+}

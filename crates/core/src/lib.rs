@@ -23,6 +23,7 @@
 //! [`monitor`] provides the per-round invariant monitor the robustness
 //! harnesses report through.
 
+pub mod backend;
 pub mod churndos;
 pub mod config;
 pub mod dos;

@@ -8,12 +8,13 @@
 //! rounds, only work — exactly the paper's "polylogarithmically many
 //! instances ... executed in parallel").
 
+use crate::backend::AnyNet;
 use crate::config::{SamplingParams, Schedule};
 use crate::metrics::ReconfigMetrics;
 use crate::sampling::run_alg1_direct;
 use overlay_graphs::{HGraph, HamiltonCycle};
 use rand::seq::SliceRandom;
-use simnet::{Ctx, Network, NodeId, Payload, Protocol};
+use simnet::{Ctx, NodeId, Payload, Protocol, SimEngine};
 use std::collections::{HashMap, HashSet};
 
 /// How Phase 3 bridges empty segments (A1 ablation).
@@ -314,7 +315,7 @@ pub fn run_epoch(input: EpochInput<'_>) -> EpochOutput {
     let sampling_rounds = schedule.rounds() as u64;
 
     // ---- Build the epoch network. ----
-    let mut net: Network<ReconfigNode> = Network::new(input.seed ^ 0xEC0C);
+    let mut net: AnyNet<ReconfigNode> = crate::backend::select().build(input.seed ^ 0xEC0C);
     for &v in &old_members {
         let pool = &mut sample_pool[dense[&v]];
         let placements: Vec<Vec<(NodeId, NodeId)>> = (0..n_cycles)

@@ -8,11 +8,12 @@
 //! id back to the origin in one extra round. Total: `t + 1 = Theta(log n)`
 //! rounds, versus Algorithm 1's `2 log2(t) + 1 = Theta(log log n)`.
 
+use crate::backend::AnyNet;
 use crate::config::SamplingParams;
 use crate::metrics::SamplingMetrics;
 use overlay_graphs::HGraph;
 use rand::RngExt;
-use simnet::{Ctx, Network, NodeId, Payload, Protocol};
+use simnet::{Ctx, NodeId, Payload, Protocol, SimEngine};
 use telemetry::{EventKind, Phase, Telemetry};
 
 /// Messages of the baseline sampler.
@@ -112,7 +113,7 @@ pub fn run_baseline_observed(
     let sampling = collector.phase(Phase::Sampling);
     collector
         .emit(0, EventKind::SamplingStarted, None, n as u64, || format!("baseline n={n} walk={t}"));
-    let mut net: Network<BaselineNode> = Network::new(seed);
+    let mut net: AnyNet<BaselineNode> = crate::backend::select().build(seed);
     net.set_telemetry(collector.clone());
     for &v in graph.nodes() {
         net.add_node(v, BaselineNode::new(graph.neighbors(v), k, t));

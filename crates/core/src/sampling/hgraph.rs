@@ -22,11 +22,12 @@
 //! node's own id so the protocol can proceed; experiments report the count
 //! (E5 probes the parameter boundary where failures appear).
 
+use crate::backend::AnyNet;
 use crate::config::{SamplingParams, Schedule};
 use crate::metrics::SamplingMetrics;
 use overlay_graphs::HGraph;
 use rand::RngExt;
-use simnet::{Ctx, Network, NodeId, Payload, Protocol};
+use simnet::{Ctx, NodeId, Payload, Protocol, SimEngine};
 use std::sync::Arc;
 use telemetry::{EventKind, Phase, Telemetry};
 
@@ -171,6 +172,12 @@ impl Protocol for Alg1Node {
             }
         }
     }
+    /// A finished sampler ignores all traffic forever (`on_round` early
+    /// returns on `samples.is_some()`), so the sharded backend may drop it
+    /// from the per-round worklist.
+    fn quiescent(&self) -> bool {
+        self.samples.is_some()
+    }
 }
 
 impl simnet::Checkpoint for SampleMsg {
@@ -288,7 +295,7 @@ fn run_alg1_inner(
     collector.emit(0, EventKind::SamplingStarted, None, n as u64, || {
         format!("alg1 n={n} T={iterations}")
     });
-    let mut net: Network<Alg1Node> = Network::new(seed);
+    let mut net: AnyNet<Alg1Node> = crate::backend::select().build(seed);
     net.set_telemetry(collector.clone());
     if digests {
         net.enable_digests();

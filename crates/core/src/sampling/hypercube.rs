@@ -16,11 +16,12 @@
 //! the disjoint class `j ≡ 1 + 2^(i-1) (mod 2^i)`, which is why the slimmer
 //! base `1 + eps` suffices here (compare Lemma 7's `2 + eps`).
 
+use crate::backend::AnyNet;
 use crate::config::{SamplingParams, Schedule};
 use crate::metrics::SamplingMetrics;
 use overlay_graphs::Hypercube;
 use rand::RngExt;
-use simnet::{Ctx, Network, NodeId, Payload, Protocol};
+use simnet::{Ctx, NodeId, Payload, Protocol, SimEngine};
 use std::sync::Arc;
 use telemetry::{EventKind, Phase, Telemetry};
 
@@ -190,7 +191,7 @@ pub fn run_alg2_observed(
     collector.emit(0, EventKind::SamplingStarted, None, n as u64, || {
         format!("alg2 dim={dim} T={iterations}")
     });
-    let mut net: Network<Alg2Node> = Network::new(seed);
+    let mut net: AnyNet<Alg2Node> = crate::backend::select().build(seed);
     net.set_telemetry(collector.clone());
     for v in cube.vertices() {
         net.add_node(NodeId(v), Alg2Node::new(Arc::clone(&schedule), cube));

@@ -1,0 +1,248 @@
+//! Runtime backend selection: [`Backend`] names an engine (optionally with
+//! a shard count), parses from the `SIMNET_BACKEND` environment variable,
+//! and [`AnyNet`] holds whichever engine was picked behind one concrete
+//! type so runners need no generics over the engine.
+
+use crate::XlNetwork;
+use simnet::accounting::CommStats;
+use simnet::backend::SimEngine;
+use simnet::fault::{BlockSet, FaultModel};
+use simnet::trace::Trace;
+use simnet::{Network, NodeId, Protocol};
+use telemetry::Telemetry;
+
+/// Environment variable consulted by [`Backend::from_env`]:
+/// `legacy` (or empty/unset), `xl`, or `xl:<shards>`.
+pub const BACKEND_ENV: &str = "SIMNET_BACKEND";
+
+/// Automatic shard count for [`XlNetwork`]: the machine's available
+/// parallelism, clamped to `[1, 16]`. More shards than cores buys nothing
+/// (the merge pass is serial), and past 16 the per-round merge overhead of
+/// mostly-empty runs outweighs compute wins.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 16)
+}
+
+/// Which simulation engine to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The original boxed-slot [`simnet::Network`].
+    #[default]
+    Legacy,
+    /// The sharded [`XlNetwork`]; `shards == 0` means automatic
+    /// ([`default_shards`]).
+    Xl {
+        /// Shard count, `0` for automatic.
+        shards: usize,
+    },
+}
+
+impl Backend {
+    /// Parse a backend spec: `""`/`"legacy"` → legacy, `"xl"` → sharded
+    /// with automatic shard count, `"xl:<k>"` → sharded with `k` shards.
+    /// Anything else is `None`.
+    pub fn parse(spec: &str) -> Option<Backend> {
+        match spec.trim() {
+            "" | "legacy" => Some(Backend::Legacy),
+            "xl" => Some(Backend::Xl { shards: 0 }),
+            other => {
+                let k = other.strip_prefix("xl:")?.parse::<usize>().ok()?;
+                Some(Backend::Xl { shards: k })
+            }
+        }
+    }
+
+    /// Read the backend from the `SIMNET_BACKEND` environment variable.
+    /// Unset or empty means [`Backend::Legacy`]; an unparseable value
+    /// falls back to legacy rather than aborting a long run.
+    pub fn from_env() -> Backend {
+        match std::env::var(BACKEND_ENV) {
+            Ok(spec) => Backend::parse(&spec).unwrap_or(Backend::Legacy),
+            Err(_) => Backend::Legacy,
+        }
+    }
+
+    /// Instantiate an empty network of this backend.
+    pub fn build<P: Protocol>(self, master_seed: u64) -> AnyNet<P> {
+        match self {
+            Backend::Legacy => AnyNet::Legacy(Network::new(master_seed)),
+            Backend::Xl { shards } => AnyNet::Xl(XlNetwork::with_shards(master_seed, shards)),
+        }
+    }
+
+    /// Short human-readable name (`legacy` / `xl`), for telemetry metadata
+    /// and experiment records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Legacy => "legacy",
+            Backend::Xl { .. } => "xl",
+        }
+    }
+}
+
+/// Either engine as one concrete type. Implements [`SimEngine`] by
+/// delegation, so code written against the trait (or against this enum)
+/// runs identically on both.
+pub enum AnyNet<P: Protocol> {
+    /// The legacy boxed-slot engine.
+    Legacy(Network<P>),
+    /// The sharded engine.
+    Xl(XlNetwork<P>),
+}
+
+/// Delegate a method to whichever variant is live.
+macro_rules! delegate {
+    ($self:ident, $net:ident => $body:expr) => {
+        match $self {
+            AnyNet::Legacy($net) => $body,
+            AnyNet::Xl($net) => $body,
+        }
+    };
+}
+
+impl<P: Protocol> AnyNet<P> {
+    /// Build for the given backend; equivalent to [`Backend::build`].
+    pub fn new(backend: Backend, master_seed: u64) -> Self {
+        backend.build(master_seed)
+    }
+
+    /// Which backend this network is running on.
+    pub fn backend(&self) -> Backend {
+        match self {
+            AnyNet::Legacy(_) => Backend::Legacy,
+            AnyNet::Xl(n) => Backend::Xl { shards: n.shard_count() },
+        }
+    }
+
+    /// Iterate over `(id, state)` of current members (unspecified order).
+    pub fn nodes(&self) -> Box<dyn Iterator<Item = (NodeId, &P)> + '_> {
+        match self {
+            AnyNet::Legacy(n) => Box::new(n.nodes()),
+            AnyNet::Xl(n) => Box::new(n.nodes()),
+        }
+    }
+
+    /// Execute one unblocked round.
+    pub fn step(&mut self) {
+        delegate!(self, n => n.step())
+    }
+
+    /// Run `rounds` unblocked rounds.
+    pub fn run(&mut self, rounds: u64) {
+        delegate!(self, n => n.run(rounds))
+    }
+
+    /// Reset communication-work statistics.
+    pub fn reset_stats(&mut self) {
+        delegate!(self, n => n.reset_stats())
+    }
+}
+
+impl<P: Protocol> SimEngine<P> for AnyNet<P> {
+    fn master_seed(&self) -> u64 {
+        delegate!(self, n => n.master_seed())
+    }
+
+    fn round(&self) -> u64 {
+        delegate!(self, n => n.round())
+    }
+
+    fn len(&self) -> usize {
+        delegate!(self, n => n.len())
+    }
+
+    fn contains(&self, id: NodeId) -> bool {
+        delegate!(self, n => n.contains(id))
+    }
+
+    fn ids(&self) -> Vec<NodeId> {
+        delegate!(self, n => SimEngine::ids(n))
+    }
+
+    fn add_node(&mut self, id: NodeId, proto: P) {
+        delegate!(self, n => n.add_node(id, proto))
+    }
+
+    fn remove_node(&mut self, id: NodeId) -> Option<P> {
+        delegate!(self, n => n.remove_node(id))
+    }
+
+    fn node(&self, id: NodeId) -> Option<&P> {
+        delegate!(self, n => n.node(id))
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        delegate!(self, n => n.node_mut(id))
+    }
+
+    fn inject(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        delegate!(self, n => n.inject(from, to, msg))
+    }
+
+    fn step_blocked(&mut self, blocked: &BlockSet) {
+        delegate!(self, n => n.step_blocked(blocked))
+    }
+
+    fn set_fault_model(&mut self, faults: FaultModel) {
+        delegate!(self, n => n.set_fault_model(faults))
+    }
+
+    fn fault_model(&self) -> &FaultModel {
+        delegate!(self, n => n.fault_model())
+    }
+
+    fn set_telemetry(&mut self, tel: Telemetry) {
+        delegate!(self, n => n.set_telemetry(tel))
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        delegate!(self, n => n.telemetry())
+    }
+
+    fn enable_trace(&mut self, cap: usize) {
+        delegate!(self, n => n.enable_trace(cap))
+    }
+
+    fn enable_digests(&mut self) {
+        delegate!(self, n => n.enable_digests())
+    }
+
+    fn set_manifest(&mut self, config: String) {
+        delegate!(self, n => n.set_manifest(config))
+    }
+
+    fn trace(&self) -> &Trace {
+        delegate!(self, n => n.trace())
+    }
+
+    fn stats(&self) -> &CommStats {
+        delegate!(self, n => n.stats())
+    }
+
+    fn round_digest(&self) -> u64 {
+        delegate!(self, n => n.round_digest())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parses_specs() {
+        assert_eq!(Backend::parse(""), Some(Backend::Legacy));
+        assert_eq!(Backend::parse("legacy"), Some(Backend::Legacy));
+        assert_eq!(Backend::parse("xl"), Some(Backend::Xl { shards: 0 }));
+        assert_eq!(Backend::parse("xl:4"), Some(Backend::Xl { shards: 4 }));
+        assert_eq!(Backend::parse(" xl:16 "), Some(Backend::Xl { shards: 16 }));
+        assert_eq!(Backend::parse("xl:"), None);
+        assert_eq!(Backend::parse("xl:four"), None);
+        assert_eq!(Backend::parse("turbo"), None);
+    }
+
+    #[test]
+    fn default_shards_is_clamped() {
+        let s = default_shards();
+        assert!((1..=16).contains(&s), "got {s}");
+    }
+}

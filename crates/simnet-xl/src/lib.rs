@@ -1,0 +1,53 @@
+//! # simnet-xl — sharded large-N backend for the simnet round model
+//!
+//! The legacy [`simnet::Network`] steps every node through a per-slot heap
+//! mailbox each round, which is comfortable at n = 10⁴ and hopeless at the
+//! "millions of users" scale the paper's asymptotic claims (Theorems 5–7)
+//! are about. This crate provides [`XlNetwork`]: a drop-in engine for the
+//! same [`simnet::Protocol`] trait that
+//!
+//! * stores node state in **structure-of-arrays** form, sharded round-robin
+//!   by a stable `u32` sequence number, so a round walks dense parallel
+//!   arrays instead of pointer-chasing boxed slots;
+//! * routes messages through **per-shard send arenas** that are filled in
+//!   parallel (one flat `Vec` per shard, tagged with a delivery sort key)
+//!   and consumed by a single k-way merge pass — the one cross-shard
+//!   exchange barrier per round;
+//! * skips idle nodes via an **active-set worklist**: a node that reports
+//!   [`simnet::Protocol::quiescent`] drops out of the per-round loop until
+//!   mail, a crash-recovery or external mutation re-activates it, so
+//!   quiescent rounds cost O(active) instead of O(n).
+//!
+//! ## Digest parity
+//!
+//! The engine is bit-compatible with the legacy one: driven identically
+//! (same seed, same churn, same block sets, same fault model), it produces
+//! the **same [`simnet::RoundDigest`] stream at every shard count**, so the
+//! repository's golden digest files and checkpoints act as a differential
+//! oracle between the two implementations. Parity hinges on three ordering
+//! guarantees, spelled out in DESIGN.md §10:
+//!
+//! 1. sequence numbers are assigned exactly like legacy slot indices
+//!    (free-list reuse included), and messages carry the sort key
+//!    `(seq << 32) | outbox_position`, so the merge pass replays the legacy
+//!    delivery order — which per-receiver inbox order, and therefore
+//!    protocol RNG consumption, depends on;
+//! 2. delivery runs serially in global key order, so the shared link-fault
+//!    RNG draws in the legacy sequence;
+//! 3. per-node RNG streams are keyed identically (`stream(master_seed, id,
+//!    purpose)`), so node randomness never depends on engine or shard.
+//!
+//! [`XlNetwork`] also writes and reads the legacy
+//! `simnet-network-checkpoint` format, so runs checkpoint/resume across
+//! engines, and attaches the same `net.*` telemetry metrics and phase
+//! profile so `trace-report` renders either backend.
+//!
+//! Use [`Backend`] / the `SIMNET_BACKEND` environment knob to pick an
+//! engine at runtime, and [`AnyNet`] to hold either behind the
+//! [`simnet::SimEngine`] trait.
+
+mod any;
+mod engine;
+
+pub use any::{default_shards, AnyNet, Backend, BACKEND_ENV};
+pub use engine::XlNetwork;

@@ -61,6 +61,11 @@ pub struct Network<P: Protocol> {
     /// Messages held back by a link-delay fault, with the round they
     /// mature. Always empty under the null fault model.
     delayed: Vec<(u64, Envelope<P::Msg>)>,
+    /// Round-scratch for the deliver phase: the previous round's drained
+    /// `in_flight` / `delayed` vectors, kept so their allocations are
+    /// reused instead of freed and re-grown every round.
+    scratch_flight: Vec<Envelope<P::Msg>>,
+    scratch_delayed: Vec<(u64, Envelope<P::Msg>)>,
     prev_blocked: BlockSet,
     faults: FaultModel,
     acc: WorkAccumulator,
@@ -83,6 +88,8 @@ impl<P: Protocol> Network<P> {
             index: HashMap::new(),
             in_flight: Vec::new(),
             delayed: Vec::new(),
+            scratch_flight: Vec::new(),
+            scratch_delayed: Vec::new(),
             prev_blocked: BlockSet::none(),
             faults: FaultModel::null(),
             acc: WorkAccumulator::default(),
@@ -363,18 +370,28 @@ impl<P: Protocol> Network<P> {
         {
             let _deliver = self.obs.telemetry().phase(Phase::Deliver);
             if !self.delayed.is_empty() {
-                let held = std::mem::take(&mut self.delayed);
-                let (due, still): (Vec<_>, Vec<_>) =
-                    held.into_iter().partition(|(d, _)| *d <= round);
-                self.delayed = still;
-                for (_, env) in due {
-                    self.deliver_one(env, round, blocked, &downs, false);
+                // Matured messages go first, still-held ones are kept;
+                // both in their original push order (deliver_one only
+                // appends still-fresh messages to `delayed`, never the
+                // non-fresh ones processed here, so repopulating the live
+                // vector while draining the scratch is safe).
+                let mut held =
+                    std::mem::replace(&mut self.delayed, std::mem::take(&mut self.scratch_delayed));
+                for (due, env) in held.drain(..) {
+                    if due <= round {
+                        self.deliver_one(env, round, blocked, &downs, false);
+                    } else {
+                        self.delayed.push((due, env));
+                    }
                 }
+                self.scratch_delayed = held;
             }
-            let in_flight = std::mem::take(&mut self.in_flight);
-            for env in in_flight {
+            let mut flight =
+                std::mem::replace(&mut self.in_flight, std::mem::take(&mut self.scratch_flight));
+            for env in flight.drain(..) {
                 self.deliver_one(env, round, blocked, &downs, true);
             }
+            self.scratch_flight = flight;
         }
 
         // Steps 2+3: local computation and sending, in parallel. Each node
@@ -655,6 +672,8 @@ where
             index,
             in_flight: crate::checkpoint::get_vec(v, "in_flight")?,
             delayed,
+            scratch_flight: Vec::new(),
+            scratch_delayed: Vec::new(),
             prev_blocked: BlockSet::load(field(v, "prev_blocked")?)?,
             faults: FaultModel::load(field(v, "faults")?)?,
             acc: WorkAccumulator::default(),

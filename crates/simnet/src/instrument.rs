@@ -40,7 +40,7 @@ impl TraceTotals {
 
 /// The engine's recorder attachment: metric handles resolved once so the
 /// per-round path is a handful of relaxed atomic adds.
-pub(crate) struct NetObserver {
+pub struct NetObserver {
     tel: Telemetry,
     rounds: Counter,
     delivered: Counter,
@@ -61,14 +61,14 @@ pub(crate) struct NetObserver {
 }
 
 impl NetObserver {
-    pub(crate) fn disabled() -> Self {
+    pub fn disabled() -> Self {
         Self::new(Telemetry::disabled(), &Trace::counters_only())
     }
 
     /// Resolve all handles against `tel`. `trace` provides the baseline for
     /// counter diffing — metrics attached mid-run only see what happens
     /// after attachment.
-    pub(crate) fn new(tel: Telemetry, trace: &Trace) -> Self {
+    pub fn new(tel: Telemetry, trace: &Trace) -> Self {
         let c = |name: &str| tel.counter(name, &[]);
         Self {
             rounds: c("net.rounds"),
@@ -92,11 +92,11 @@ impl NetObserver {
     }
 
     #[inline]
-    pub(crate) fn enabled(&self) -> bool {
+    pub fn enabled(&self) -> bool {
         self.tel.enabled()
     }
 
-    pub(crate) fn telemetry(&self) -> &Telemetry {
+    pub fn telemetry(&self) -> &Telemetry {
         &self.tel
     }
 
@@ -105,7 +105,7 @@ impl NetObserver {
     /// `sent_msgs` are the send-side charges of the round; the remainder of
     /// the round's work is the receive side and is attributed to the
     /// deliver phase.
-    pub(crate) fn on_round(
+    pub fn on_round(
         &mut self,
         trace: &Trace,
         work: RoundWork,
@@ -142,7 +142,7 @@ impl NetObserver {
 
     /// Emit a node lifecycle event.
     #[inline]
-    pub(crate) fn node_event(&self, round: u64, kind: EventKind, node: crate::NodeId) {
+    pub fn node_event(&self, round: u64, kind: EventKind, node: crate::NodeId) {
         self.tel.emit(round, kind, Some(node.raw()), 0, String::new);
     }
 }

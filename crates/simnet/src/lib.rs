@@ -64,12 +64,13 @@
 //! ```
 
 pub mod accounting;
+pub mod backend;
 pub mod checkpoint;
 pub mod digest;
 pub mod engine;
 pub mod fault;
 pub mod id;
-mod instrument;
+pub mod instrument;
 pub mod message;
 pub mod observer;
 pub mod protocol;
@@ -77,6 +78,7 @@ pub mod rng;
 pub mod trace;
 
 pub use accounting::{CommStats, RoundWork};
+pub use backend::SimEngine;
 pub use checkpoint::{Checkpoint, Checkpointer, CkptError, CkptResult};
 pub use digest::{Digest, RoundDigest, RunManifest};
 pub use engine::{Network, ParMode, PAR_THRESHOLD};

@@ -41,6 +41,24 @@ pub trait Protocol: Send {
     /// survives on durable storage. The engine separately clears the inbox
     /// and re-keys the node's RNG stream in either case.
     fn on_crash_recover(&mut self) {}
+
+    /// True when this node has gone permanently passive: for every future
+    /// round and *any* inbox contents, [`Protocol::on_round`] would neither
+    /// mutate protocol state, nor draw from the node RNG, nor send a
+    /// message. The flag may only flip back to `false` through an external
+    /// state change the engine can see ([`Protocol::on_crash_recover`] or
+    /// direct mutation via `node_mut`).
+    ///
+    /// Backends with an active-set worklist (see `simnet-xl`) use this to
+    /// skip the `on_round` call entirely — they still clear the inbox, as
+    /// the round model requires — so quiescent rounds cost O(active)
+    /// instead of O(n). Because a quiescent `on_round` touches nothing, a
+    /// skipped call is indistinguishable from an executed one and the
+    /// round-digest stream is unchanged. The legacy engine ignores the
+    /// flag. The default is `false`: always step.
+    fn quiescent(&self) -> bool {
+        false
+    }
 }
 
 /// Per-round execution context handed to [`Protocol::on_round`].
@@ -55,6 +73,23 @@ pub struct Ctx<'a, M> {
 }
 
 impl<'a, M: Payload> Ctx<'a, M> {
+    /// Assemble a context from its parts.
+    ///
+    /// This is the backend-implementor entry point: an alternative engine
+    /// (e.g. `simnet-xl`) borrows a node's inbox, a send buffer and the
+    /// node's private RNG stream and hands the protocol exactly the same
+    /// view the legacy engine would. `outbox` receives the envelopes queued
+    /// by [`Ctx::send`]; the backend routes them after `on_round` returns.
+    pub fn from_parts(
+        me: NodeId,
+        round: u64,
+        inbox: &'a mut Vec<Envelope<M>>,
+        outbox: &'a mut Vec<Envelope<M>>,
+        rng: &'a mut NodeRng,
+    ) -> Self {
+        Self { me, round, inbox, outbox, rng }
+    }
+
     /// This node's identifier.
     #[inline]
     pub fn me(&self) -> NodeId {

@@ -76,12 +76,16 @@ impl Trace {
 
     /// Switch event recording on (up to `cap` events) without disturbing
     /// counters, digests or the manifest accumulated so far.
-    pub(crate) fn enable(&mut self, cap: usize) {
+    pub fn enable(&mut self, cap: usize) {
         self.enabled = true;
         self.cap = cap;
     }
 
-    pub(crate) fn record(&mut self, ev: TraceEvent) {
+    /// Count (and, when enabled, buffer) one simulator event. Engines —
+    /// the legacy `Network` and alternative backends alike — call this on
+    /// every delivery outcome so the always-on counters stay comparable
+    /// across backends.
+    pub fn record(&mut self, ev: TraceEvent) {
         match &ev {
             TraceEvent::Delivered { .. } => self.delivered += 1,
             TraceEvent::DroppedBlocked { .. } => self.dropped_blocked += 1,
@@ -101,11 +105,13 @@ impl Trace {
         }
     }
 
-    pub(crate) fn record_digest(&mut self, d: RoundDigest) {
+    /// Append one round digest to the replay-verification stream.
+    pub fn record_digest(&mut self, d: RoundDigest) {
         self.digests.push(d);
     }
 
-    pub(crate) fn set_manifest(&mut self, manifest: RunManifest) {
+    /// Attach (or replace) the run manifest.
+    pub fn set_manifest(&mut self, manifest: RunManifest) {
         self.manifest = Some(manifest);
     }
 

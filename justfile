@@ -49,6 +49,12 @@ checkpoint:
 a6 *flags="":
     cargo run --release -p reconfig-bench --bin exp_a6_adaptive_adversary -- {{flags}}
 
+# Engine-scaling benchmark (legacy vs simnet-xl); `just s1 --smoke` for the
+# CI digest-parity gate at n=5e4, bare `just s1` for the full n=1e6 sweep
+# (rewrites results/s1.json and BENCH_S1.json).
+s1 *flags="":
+    cargo run --release -p reconfig-bench --bin exp_s1_scale -- {{flags}}
+
 # Checkpointed adversarial soak; pass soak flags through, e.g.
 # `just soak --family dos --epochs 200 --dir soak-out [--resume]`.
 soak *flags="":

@@ -49,4 +49,7 @@ FUZZ_CASES="${FUZZ_CASES:-100}" cargo test -q -p integration-tests --test shrink
 echo "==> adaptive-adversary boundary (A6 smoke sweep)"
 cargo run -q --release -p reconfig-bench --bin exp_a6_adaptive_adversary -- --smoke
 
+echo "==> s1-smoke: legacy vs simnet-xl digest parity at n=5e4"
+cargo run -q --release -p reconfig-bench --bin exp_s1_scale -- --smoke
+
 echo "CI gate passed."
