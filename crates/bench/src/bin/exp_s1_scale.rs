@@ -1,5 +1,5 @@
-//! S1 — engine scaling: the sharded `simnet-xl` backend vs the legacy
-//! engine, n = 10⁴ → 10⁶.
+//! S1 — engine scaling: legacy vs sharded `simnet-xl` (parity and fast
+//! modes), n = 10⁵ → 10⁷, shards × cores × mode.
 //!
 //! Two protocol families bracket the engines' cost model:
 //!
@@ -14,12 +14,23 @@
 //!   quiescent, so this measures raw per-round throughput of the
 //!   structure-of-arrays state against the legacy boxed slots.
 //!
-//! Both backends execute the identical protocol from the identical seed,
-//! so their digest streams must match; `--smoke` (n = 5·10⁴, used by the
-//! CI `s1-smoke` job) runs both families with digests enabled and asserts
-//! byte-for-byte parity before reporting timings. The full sweep writes
-//! `results/s1.json` plus `BENCH_S1.json` at the workspace root — the
-//! first point of the perf trajectory.
+//! The sweep crosses both families with execution modes (legacy, `xl`
+//! parity at shards 1 and 4, `xl:fast` at shards 1 and 4) and reaches
+//! n = 10⁷ on the sharded backends. The rayon worker-pool size is set by
+//! `--cores <k>` (default: `RAYON_NUM_THREADS` or the host count) and
+//! every row records the **actual** pool size it ran under (`cores`)
+//! alongside the physical `host_cpus` — the two are deliberately separate
+//! fields so a row can never claim parallel hardware it didn't have.
+//!
+//! Parity-mode runs execute the identical protocol from the identical
+//! seed as legacy, so their digest streams must match; fast-mode runs
+//! relax delivery order (see DESIGN.md §10) and are checked for
+//! *reproducibility* (two runs, identical streams) instead, with their
+//! distributional equivalence covered by `tests/fast_mode_equivalence.rs`.
+//! `--smoke` (n = 5·10⁴, the CI `s1-smoke` job) runs that mode × shard
+//! matrix — parity at shards 1 and 4 against legacy, fast at shards 4
+//! twice — before reporting timings. The full sweep writes
+//! `results/s1.json` plus `BENCH_S1.json` at the workspace root.
 //!
 //! Timings exclude setup (graph construction, node insertion): the
 //! claim under test is steady-state rounds/sec, not build cost.
@@ -159,7 +170,7 @@ impl Protocol for GossipNode {
 }
 
 /// Per-round DoS block sets at the given rate, drawn from a dedicated
-/// stream so both backends consume identical schedules.
+/// stream so every backend consumes the identical schedule.
 fn block_schedule(n: u64, rounds: u64, rate: f64) -> Vec<BlockSet> {
     let mut rng = simnet::rng::stream(SEED, 9, 0xD05);
     (0..rounds)
@@ -215,146 +226,240 @@ struct RunOut {
     rounds_per_sec: f64,
     bytes_per_node: f64,
     digests: Vec<RoundDigest>,
-    shards: usize,
+    /// Backend as reported by the network after construction (shards
+    /// resolved to their actual value).
+    backend: Backend,
+    /// Actual rayon worker count this run executed under.
+    cores: usize,
 }
 
 fn finish<P: Protocol>(net: AnyNet<P>, n: usize, rounds: u64, start: Instant) -> RunOut {
     let elapsed_s = start.elapsed().as_secs_f64();
-    let shards = match net.backend() {
-        Backend::Legacy => 0,
-        Backend::Xl { shards } => shards,
-    };
     RunOut {
         elapsed_s,
         rounds_per_sec: rounds as f64 / elapsed_s.max(1e-9),
         bytes_per_node: net.stats().total_bits() as f64 / 8.0 / n as f64,
         digests: net.trace().digests().to_vec(),
-        shards,
+        backend: net.backend(),
+        cores: rayon::current_num_threads(),
     }
 }
 
-fn backend_label(b: Backend, shards: usize) -> String {
+/// Human label with the resolved shard count, e.g. `xl:fast:4`.
+fn backend_label(b: Backend) -> String {
     match b {
         Backend::Legacy => "legacy".into(),
-        Backend::Xl { .. } => format!("xl:{shards}"),
+        Backend::Xl { shards } => format!("xl:{shards}"),
+        Backend::XlFast { shards } => format!("xl:fast:{shards}"),
+    }
+}
+
+fn shard_count(b: Backend) -> usize {
+    match b {
+        Backend::Legacy => 0,
+        Backend::Xl { shards } | Backend::XlFast { shards } => shards,
     }
 }
 
 struct Row {
     family: &'static str,
     n: usize,
-    backend: Backend,
+    rounds: u64,
     out: RunOut,
 }
 
-fn sweep(
-    families: &[(&'static str, usize, u64)],
-    digests: bool,
-    tel: &telemetry::Telemetry,
-) -> Vec<Row> {
+/// One sweep cell: a (family, n) workload crossed with a backend list.
+/// All rows of a cell share the baseline (the first backend listed).
+struct Cell {
+    family: &'static str,
+    n: usize,
+    rounds: u64,
+    backends: Vec<Backend>,
+}
+
+fn run_cell(cell: &Cell, digests: bool, tel: &telemetry::Telemetry) -> Vec<Row> {
+    let peers = if cell.family == "hgraph" { hgraph_peers(cell.n) } else { Vec::new() };
+    let blocks = if cell.family == "churndos" {
+        block_schedule(cell.n as u64, cell.rounds, 0.08)
+    } else {
+        Vec::new()
+    };
     let mut rows = Vec::new();
-    for &(family, n, rounds) in families {
-        let peers = if family == "hgraph" { hgraph_peers(n) } else { Vec::new() };
-        let blocks =
-            if family == "churndos" { block_schedule(n as u64, rounds, 0.08) } else { Vec::new() };
-        for backend in [Backend::Legacy, Backend::Xl { shards: 0 }] {
-            let out = match family {
-                "hgraph" => run_hgraph(backend, &peers, rounds, digests, tel),
-                _ => run_churndos(backend, n as u64, &blocks, digests, tel),
-            };
-            eprintln!(
-                "  {family} n={n} {}: {:.2}s ({:.1} rounds/s)",
-                backend_label(backend, out.shards),
-                out.elapsed_s,
-                out.rounds_per_sec
-            );
-            rows.push(Row { family, n, backend, out });
-        }
+    for &backend in &cell.backends {
+        let out = match cell.family {
+            "hgraph" => run_hgraph(backend, &peers, cell.rounds, digests, tel),
+            _ => run_churndos(backend, cell.n as u64, &blocks, digests, tel),
+        };
+        eprintln!(
+            "  {} n={} {} [cores={}]: {:.2}s ({:.1} rounds/s)",
+            cell.family,
+            cell.n,
+            backend_label(out.backend),
+            out.cores,
+            out.elapsed_s,
+            out.rounds_per_sec
+        );
+        rows.push(Row { family: cell.family, n: cell.n, rounds: cell.rounds, out });
     }
     rows
 }
 
-/// Assert digest parity between consecutive (legacy, xl) row pairs.
-fn assert_parity(rows: &[Row]) {
-    for pair in rows.chunks(2) {
-        let [legacy, xl] = pair else { panic!("rows must pair legacy/xl") };
-        assert!(!legacy.out.digests.is_empty(), "digests were not captured");
-        assert_eq!(
-            legacy.out.digests, xl.out.digests,
-            "digest divergence: {} n={} legacy vs xl",
-            legacy.family, legacy.n
-        );
+/// Render a group of rows sharing a baseline (the group's first row) into
+/// the table and the JSON row list.
+fn emit_group(rows: &[Row], t: &mut Table, json_rows: &mut Vec<serde_json::Value>) {
+    let base = &rows[0];
+    let base_label = backend_label(base.out.backend);
+    for r in rows {
+        let is_base = std::ptr::eq(r, base);
+        let speedup = r.out.rounds_per_sec / base.out.rounds_per_sec;
+        t.row(vec![
+            r.family.into(),
+            r.n.to_string(),
+            backend_label(r.out.backend),
+            r.out.backend.exec_mode().name().into(),
+            shard_count(r.out.backend).to_string(),
+            r.out.cores.to_string(),
+            f(r.out.elapsed_s),
+            format!("{:.1}", r.out.rounds_per_sec),
+            format!("{:.0}", r.out.bytes_per_node),
+            if is_base { "-".into() } else { format!("{speedup:.2}x") },
+        ]);
+        json_rows.push(serde_json::json!({
+            "family": r.family,
+            "n": r.n,
+            "rounds": r.rounds,
+            "backend": backend_label(r.out.backend),
+            "mode": r.out.backend.exec_mode().name(),
+            "shards": shard_count(r.out.backend),
+            "cores": r.out.cores,
+            "host_cpus": host_cpus(),
+            "elapsed_s": r.out.elapsed_s,
+            "rounds_per_sec": r.out.rounds_per_sec,
+            "bytes_per_node": r.out.bytes_per_node,
+            "baseline": base_label.clone(),
+            "speedup_vs_baseline": speedup,
+        }));
     }
 }
 
-fn print_rows(rows: &[Row]) -> Vec<serde_json::Value> {
-    let mut t = Table::new(
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
+}
+
+fn results_table() -> Table {
+    Table::new(
         "S1: engine scaling (rounds/sec, higher is better)",
-        &["family", "n", "backend", "elapsed s", "rounds/s", "bytes/node", "xl speedup"],
-    );
+        &[
+            "family",
+            "n",
+            "backend",
+            "mode",
+            "shards",
+            "cores",
+            "elapsed s",
+            "rounds/s",
+            "bytes/node",
+            "speedup",
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Smoke: mode × shard matrix for CI
+// ---------------------------------------------------------------------------
+
+/// CI gate at n = 5·10⁴ with digests on:
+///
+/// * parity matrix — `xl` at shards 1 and 4 must be byte-identical to the
+///   legacy stream;
+/// * fast matrix — `xl:fast` at shards 4, run twice, must be reproducible
+///   (identical streams) and must actually produce digests.
+fn smoke(tel: &telemetry::Telemetry) {
+    let cells = [("hgraph", 50_000usize, 24u64), ("churndos", 50_000, 12)];
+    let mut t = results_table();
     let mut json_rows = Vec::new();
-    for pair in rows.chunks(2) {
-        let speedup = if pair.len() == 2 {
-            pair[1].out.rounds_per_sec / pair[0].out.rounds_per_sec
-        } else {
-            f64::NAN
+    for (family, n, rounds) in cells {
+        let cell = Cell {
+            family,
+            n,
+            rounds,
+            backends: vec![
+                Backend::Legacy,
+                Backend::Xl { shards: 1 },
+                Backend::Xl { shards: 4 },
+                Backend::XlFast { shards: 4 },
+                Backend::XlFast { shards: 4 },
+            ],
         };
-        for r in pair {
-            let is_xl = matches!(r.backend, Backend::Xl { .. });
-            t.row(vec![
-                r.family.into(),
-                r.n.to_string(),
-                backend_label(r.backend, r.out.shards),
-                f(r.out.elapsed_s),
-                format!("{:.1}", r.out.rounds_per_sec),
-                format!("{:.0}", r.out.bytes_per_node),
-                if is_xl { format!("{speedup:.2}x") } else { "-".into() },
-            ]);
-            json_rows.push(serde_json::json!({
-                "family": r.family,
-                "n": r.n,
-                "backend": backend_label(r.backend, r.out.shards),
-                "shards": r.out.shards,
-                "elapsed_s": r.out.elapsed_s,
-                "rounds_per_sec": r.out.rounds_per_sec,
-                "bytes_per_node": r.out.bytes_per_node,
-                "speedup_vs_legacy": if is_xl { speedup } else { 1.0 },
-            }));
+        let rows = run_cell(&cell, true, tel);
+        let legacy = &rows[0];
+        assert!(!legacy.out.digests.is_empty(), "digests were not captured");
+        for parity in &rows[1..3] {
+            assert_eq!(
+                legacy.out.digests,
+                parity.out.digests,
+                "digest divergence: {family} n={n} legacy vs {}",
+                backend_label(parity.out.backend)
+            );
         }
+        let (fast_a, fast_b) = (&rows[3], &rows[4]);
+        assert!(!fast_a.out.digests.is_empty(), "fast digests were not captured");
+        assert_eq!(
+            fast_a.out.digests, fast_b.out.digests,
+            "fast mode is not reproducible: {family} n={n}"
+        );
+        // Report one fast row, not the reproducibility duplicate.
+        emit_group(&rows[..4], &mut t, &mut json_rows);
     }
     t.print();
-    json_rows
+    println!(
+        "s1-smoke: parity holds at shards 1/4 and xl:fast:4 is reproducible \
+         for both families at n=5e4"
+    );
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let tel = reconfig_bench::experiment_telemetry();
+// ---------------------------------------------------------------------------
+// Full sweep
+// ---------------------------------------------------------------------------
 
-    if smoke {
-        // CI gate: both backends at n = 5·10⁴ with digests on; parity is
-        // asserted before any timing is reported.
-        let families = [("hgraph", 50_000usize, 24u64), ("churndos", 50_000, 12)];
-        let rows = sweep(&families, true, &tel);
-        assert_parity(&rows);
-        print_rows(&rows);
-        println!("s1-smoke: digest parity holds for both families at n=5e4");
-        return;
-    }
-
-    let families = [
-        ("hgraph", 10_000usize, 48u64),
-        ("hgraph", 100_000, 48),
-        ("hgraph", 1_000_000, 48),
-        ("churndos", 10_000, 24),
-        ("churndos", 100_000, 24),
+fn full_sweep(tel: &telemetry::Telemetry) {
+    let modes = || {
+        vec![
+            Backend::Legacy,
+            Backend::Xl { shards: 1 },
+            Backend::Xl { shards: 4 },
+            Backend::XlFast { shards: 1 },
+            Backend::XlFast { shards: 4 },
+        ]
+    };
+    let cells = [
+        Cell { family: "hgraph", n: 100_000, rounds: 48, backends: modes() },
+        Cell { family: "hgraph", n: 1_000_000, rounds: 48, backends: modes() },
+        Cell { family: "churndos", n: 100_000, rounds: 24, backends: modes() },
+        Cell { family: "churndos", n: 1_000_000, rounds: 24, backends: modes() },
+        // Reach row: n = 10⁷ is out of the legacy engine's time budget, so
+        // the baseline is the parity sharded engine.
+        Cell {
+            family: "churndos",
+            n: 10_000_000,
+            rounds: 6,
+            backends: vec![Backend::Xl { shards: 4 }, Backend::XlFast { shards: 4 }],
+        },
     ];
-    let rows = sweep(&families, false, &tel);
-    let json_rows = print_rows(&rows);
+
+    let mut t = results_table();
+    let mut json_rows = Vec::new();
+    for cell in &cells {
+        let rows = run_cell(cell, false, tel);
+        emit_group(&rows, &mut t, &mut json_rows);
+    }
+    t.print();
 
     let result = ExperimentResult {
         id: "S1".into(),
-        title: "Engine scaling: simnet-xl vs legacy".into(),
-        claim: "sharded backend reaches n=1e6; strictly faster at n>=1e5".into(),
+        title: "Engine scaling: legacy vs simnet-xl (parity and fast), shards x cores x mode"
+            .into(),
+        claim: "sharded backend reaches n=1e7; fast mode >= 2x legacy at n=1e6".into(),
         rows: json_rows.clone(),
     };
     let path = write_json(&result).expect("write results");
@@ -363,7 +468,8 @@ fn main() {
     let bench = serde_json::json!({
         "bench": "S1",
         "title": result.title,
-        "cores": std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+        "cores": rayon::current_num_threads(),
+        "host_cpus": host_cpus(),
         "rows": json_rows,
     });
     let bench_path = "BENCH_S1.json";
@@ -372,8 +478,38 @@ fn main() {
     println!("bench: {bench_path}");
 
     if let Some(tpath) =
-        write_telemetry("S1", &tel, &[("claim", "engine scaling")]).expect("telemetry")
+        write_telemetry("S1", tel, &[("claim", "engine scaling")]).expect("telemetry")
     {
         println!("telemetry: {tpath:?}");
     }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke_mode = args.iter().any(|a| a == "--smoke");
+    let cores = args
+        .iter()
+        .position(|a| a == "--cores")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--cores takes a positive integer"));
+
+    // 0 = automatic (RAYON_NUM_THREADS or the host count); everything —
+    // including the `cores` field each row records — runs inside this pool.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cores.unwrap_or(0))
+        .build()
+        .expect("thread pool");
+    let tel = reconfig_bench::experiment_telemetry();
+    pool.install(|| {
+        eprintln!(
+            "s1: rayon pool size {} (host cpus {})",
+            rayon::current_num_threads(),
+            host_cpus()
+        );
+        if smoke_mode {
+            smoke(&tel);
+        } else {
+            full_sweep(&tel);
+        }
+    });
 }

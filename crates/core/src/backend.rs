@@ -5,15 +5,19 @@
 //! boxed-slot engine and the sharded `simnet-xl` engine:
 //!
 //! * the `SIMNET_BACKEND` environment variable (`legacy`, `xl`,
-//!   `xl:<shards>`) picks the process-wide default;
+//!   `xl:<shards>`, `xl:fast`, `xl:fast:<shards>`) picks the process-wide
+//!   default;
 //! * [`with_backend`] overrides it for one scope on the current thread —
 //!   the mechanism tests and benchmarks use, since mutating the process
 //!   environment is racy under a multi-threaded test harness.
 //!
-//! Either engine produces the identical digest stream (see the `simnet-xl`
-//! crate docs), so the knob is a pure performance choice.
+//! The parity engines (`legacy`, `xl`) produce the identical digest stream
+//! (see the `simnet-xl` crate docs), so between them the knob is a pure
+//! performance choice. `xl:fast` relaxes delivery order: runs stay
+//! deterministic per `(seed, shards)` but are only statistically
+//! equivalent to the parity stream — see [`ExecMode`] and DESIGN.md §10.
 
-pub use simnet_xl::{default_shards, AnyNet, Backend, XlNetwork, BACKEND_ENV};
+pub use simnet_xl::{default_shards, AnyNet, Backend, ExecMode, XlNetwork, BACKEND_ENV};
 use std::cell::Cell;
 
 thread_local! {

@@ -44,7 +44,7 @@ impl Invariant {
         }
     }
 
-    const ALL: [Invariant; 6] = [
+    pub const ALL: [Invariant; 6] = [
         Invariant::Connectivity,
         Invariant::DegreeBound,
         Invariant::GroupSizeBand,

@@ -3,7 +3,7 @@
 //! and [`AnyNet`] holds whichever engine was picked behind one concrete
 //! type so runners need no generics over the engine.
 
-use crate::XlNetwork;
+use crate::{ExecMode, XlNetwork};
 use simnet::accounting::CommStats;
 use simnet::backend::SimEngine;
 use simnet::fault::{BlockSet, FaultModel};
@@ -11,8 +11,8 @@ use simnet::trace::Trace;
 use simnet::{Network, NodeId, Protocol};
 use telemetry::Telemetry;
 
-/// Environment variable consulted by [`Backend::from_env`]:
-/// `legacy` (or empty/unset), `xl`, or `xl:<shards>`.
+/// Environment variable consulted by [`Backend::from_env`]: `legacy` (or
+/// empty/unset), `xl`, `xl:<shards>`, `xl:fast`, or `xl:fast:<shards>`.
 pub const BACKEND_ENV: &str = "SIMNET_BACKEND";
 
 /// Automatic shard count for [`XlNetwork`]: the machine's available
@@ -35,19 +35,34 @@ pub enum Backend {
         /// Shard count, `0` for automatic.
         shards: usize,
     },
+    /// The sharded [`XlNetwork`] in [`ExecMode::Fast`]: relaxed global
+    /// delivery order, statistically equivalent to (but not bit-identical
+    /// with) the parity engines. `shards == 0` means automatic.
+    XlFast {
+        /// Shard count, `0` for automatic.
+        shards: usize,
+    },
 }
 
 impl Backend {
     /// Parse a backend spec: `""`/`"legacy"` → legacy, `"xl"` → sharded
-    /// with automatic shard count, `"xl:<k>"` → sharded with `k` shards.
-    /// Anything else is `None`.
+    /// with automatic shard count, `"xl:<k>"` → sharded with `k` shards,
+    /// `"xl:fast"`/`"xl:fast:<k>"` → sharded fast mode. Anything else is
+    /// `None`.
     pub fn parse(spec: &str) -> Option<Backend> {
         match spec.trim() {
             "" | "legacy" => Some(Backend::Legacy),
             "xl" => Some(Backend::Xl { shards: 0 }),
+            "xl:fast" => Some(Backend::XlFast { shards: 0 }),
             other => {
-                let k = other.strip_prefix("xl:")?.parse::<usize>().ok()?;
-                Some(Backend::Xl { shards: k })
+                let rest = other.strip_prefix("xl:")?;
+                if let Some(k) = rest.strip_prefix("fast:") {
+                    let k = k.parse::<usize>().ok()?;
+                    Some(Backend::XlFast { shards: k })
+                } else {
+                    let k = rest.parse::<usize>().ok()?;
+                    Some(Backend::Xl { shards: k })
+                }
             }
         }
     }
@@ -67,15 +82,28 @@ impl Backend {
         match self {
             Backend::Legacy => AnyNet::Legacy(Network::new(master_seed)),
             Backend::Xl { shards } => AnyNet::Xl(XlNetwork::with_shards(master_seed, shards)),
+            Backend::XlFast { shards } => {
+                AnyNet::Xl(XlNetwork::with_shards_mode(master_seed, shards, ExecMode::Fast))
+            }
         }
     }
 
-    /// Short human-readable name (`legacy` / `xl`), for telemetry metadata
-    /// and experiment records.
+    /// Short human-readable name (`legacy` / `xl` / `xl-fast`), for
+    /// telemetry metadata and experiment records.
     pub fn name(self) -> &'static str {
         match self {
             Backend::Legacy => "legacy",
             Backend::Xl { .. } => "xl",
+            Backend::XlFast { .. } => "xl-fast",
+        }
+    }
+
+    /// The execution mode this backend runs in (legacy counts as parity:
+    /// it *defines* the parity digest stream).
+    pub fn exec_mode(self) -> ExecMode {
+        match self {
+            Backend::Legacy | Backend::Xl { .. } => ExecMode::Parity,
+            Backend::XlFast { .. } => ExecMode::Fast,
         }
     }
 }
@@ -110,7 +138,10 @@ impl<P: Protocol> AnyNet<P> {
     pub fn backend(&self) -> Backend {
         match self {
             AnyNet::Legacy(_) => Backend::Legacy,
-            AnyNet::Xl(n) => Backend::Xl { shards: n.shard_count() },
+            AnyNet::Xl(n) => match n.exec_mode() {
+                ExecMode::Parity => Backend::Xl { shards: n.shard_count() },
+                ExecMode::Fast => Backend::XlFast { shards: n.shard_count() },
+            },
         }
     }
 
@@ -235,9 +266,37 @@ mod tests {
         assert_eq!(Backend::parse("xl"), Some(Backend::Xl { shards: 0 }));
         assert_eq!(Backend::parse("xl:4"), Some(Backend::Xl { shards: 4 }));
         assert_eq!(Backend::parse(" xl:16 "), Some(Backend::Xl { shards: 16 }));
+        assert_eq!(Backend::parse("xl:fast"), Some(Backend::XlFast { shards: 0 }));
+        assert_eq!(Backend::parse("xl:fast:8"), Some(Backend::XlFast { shards: 8 }));
+        assert_eq!(Backend::parse(" xl:fast:2 "), Some(Backend::XlFast { shards: 2 }));
         assert_eq!(Backend::parse("xl:"), None);
         assert_eq!(Backend::parse("xl:four"), None);
+        assert_eq!(Backend::parse("xl:fast:"), None);
+        assert_eq!(Backend::parse("xl:fast:many"), None);
         assert_eq!(Backend::parse("turbo"), None);
+    }
+
+    #[test]
+    fn backend_names_and_modes() {
+        assert_eq!(Backend::Legacy.name(), "legacy");
+        assert_eq!(Backend::Xl { shards: 3 }.name(), "xl");
+        assert_eq!(Backend::XlFast { shards: 3 }.name(), "xl-fast");
+        assert_eq!(Backend::Legacy.exec_mode(), ExecMode::Parity);
+        assert_eq!(Backend::Xl { shards: 0 }.exec_mode(), ExecMode::Parity);
+        assert_eq!(Backend::XlFast { shards: 0 }.exec_mode(), ExecMode::Fast);
+    }
+
+    #[test]
+    fn built_fast_network_reports_its_backend() {
+        struct Nop;
+        impl Protocol for Nop {
+            type Msg = ();
+            fn on_round(&mut self, _ctx: &mut simnet::protocol::Ctx<'_, ()>) {}
+        }
+        let net: AnyNet<Nop> = Backend::XlFast { shards: 3 }.build(7);
+        assert_eq!(net.backend(), Backend::XlFast { shards: 3 });
+        let net: AnyNet<Nop> = Backend::Xl { shards: 2 }.build(7);
+        assert_eq!(net.backend(), Backend::Xl { shards: 2 });
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! therefore the digest stream are identical to the legacy engine at every
 //! shard count.
 
+use crate::ExecMode;
 use rayon::prelude::*;
 use simnet::accounting::{CommStats, RoundWork};
 use simnet::backend::SimEngine;
@@ -31,6 +32,10 @@ const INJECT_BIT: Key = 1 << 63;
 
 /// Marker for a vacant sequence number in the seq → local table.
 const VACANT: u32 = u32::MAX;
+
+/// Stream salt of the per-shard per-round fault-fate RNG in fast mode,
+/// chosen disjoint from every legacy stream purpose.
+const FAST_FATE_SALT: u64 = 0xFA57_FA7E;
 
 // --------------------------------------------------------------------------
 // Id index: a std HashMap with a splitmix64 hasher. NodeId lookups are on
@@ -75,6 +80,77 @@ impl Hasher for SplitMixHasher {
 type IdMap = HashMap<NodeId, u32, BuildHasherDefault<SplitMixHasher>>;
 
 // --------------------------------------------------------------------------
+// Fast-mode helpers: dense bitsets over sequence numbers (replacing the
+// per-message BTreeSet membership tests of the parity path) and per-shard
+// trace-counter deltas that fold into the shared `Trace` serially.
+// --------------------------------------------------------------------------
+
+/// Dense bit set over sequence numbers, rebuilt each fast-mode round from
+/// an id-keyed [`BlockSet`] so per-message membership tests are one shift
+/// and mask instead of a BTreeSet probe.
+#[derive(Default)]
+struct SeqBits {
+    words: Vec<u64>,
+}
+
+impl SeqBits {
+    fn rebuild(&mut self, set: &BlockSet, idmap: &IdMap, seqs: usize) {
+        self.words.clear();
+        self.words.resize(seqs.div_ceil(64), 0);
+        for id in set.iter() {
+            if let Some(&seq) = idmap.get(&id) {
+                self.words[seq as usize / 64] |= 1 << (seq % 64);
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, seq: u32) -> bool {
+        (self.words[seq as usize / 64] >> (seq % 64)) & 1 == 1
+    }
+}
+
+/// Per-shard delivery counters accumulated during the parallel route pass
+/// of a fast round, folded into the shared [`Trace`] afterwards so the
+/// aggregate counters stay exact (fast mode buffers no per-delivery trace
+/// events, only these totals).
+#[derive(Default)]
+struct TraceDelta {
+    delivered: u64,
+    dropped_blocked: u64,
+    dropped_missing: u64,
+    dropped_fault: u64,
+    dropped_link: u64,
+    duplicated: u64,
+    delayed: u64,
+}
+
+impl TraceDelta {
+    fn fold_into(&mut self, trace: &mut Trace) {
+        trace.delivered += self.delivered;
+        trace.dropped_blocked += self.dropped_blocked;
+        trace.dropped_missing += self.dropped_missing;
+        trace.dropped_fault += self.dropped_fault;
+        trace.dropped_link += self.dropped_link;
+        trace.duplicated += self.duplicated;
+        trace.delayed += self.delayed;
+        *self = Self::default();
+    }
+}
+
+/// One cell of the fast-mode routing matrix: messages bound for one
+/// destination shard, resolved to the receiver's sequence number.
+type Bucket<M> = Vec<(u32, Envelope<M>)>;
+
+/// One source shard's fast-mode route job: its index, the shard, and its
+/// row of destination buckets.
+type RouteJob<'a, P> = (usize, &'a mut Shard<P>, &'a mut [Bucket<<P as Protocol>::Msg>]);
+
+/// One destination shard's fast-mode absorb job: the shard and its row of
+/// (post-transpose) inbound buckets.
+type AbsorbJob<'a, P> = (&'a mut Shard<P>, &'a mut [Bucket<<P as Protocol>::Msg>]);
+
+// --------------------------------------------------------------------------
 // Shard: structure-of-arrays node state plus the shard's send arena.
 // --------------------------------------------------------------------------
 
@@ -97,6 +173,11 @@ struct Shard<P: Protocol> {
     /// Send arena: this shard's outgoing messages of the current round,
     /// key-sorted by construction (nodes step in seq order).
     sent: Vec<(Key, Envelope<P::Msg>)>,
+    /// Fast mode: messages this shard's route pass held back on a
+    /// link-delay fault, drained into the engine's delay queue serially.
+    fast_delayed: Vec<(u64, Envelope<P::Msg>)>,
+    /// Fast mode: this shard's delivery counters of the current round.
+    fast_counts: TraceDelta,
     /// Send-side totals of the last `run_round`.
     sent_bits: u64,
     sent_msgs: u64,
@@ -119,6 +200,8 @@ impl<P: Protocol> Shard<P> {
             dirty_scratch: Vec::new(),
             scratch: Vec::new(),
             sent: Vec::new(),
+            fast_delayed: Vec::new(),
+            fast_counts: TraceDelta::default(),
             sent_bits: 0,
             sent_msgs: 0,
             work_bits: Vec::new(),
@@ -147,7 +230,18 @@ impl<P: Protocol> Shard<P> {
     /// Compute + send for every active node of this shard, in seq order
     /// (which keeps the send arena key-sorted). Safe to run concurrently
     /// with other shards: touches only this shard's state.
-    fn run_round(&mut self, round: u64, blocked: &BlockSet, downs: &BlockSet, seq_local: &[u32]) {
+    ///
+    /// `cur_bits` is the fast-mode seq-indexed view of `blocked`; when
+    /// present it replaces the per-node BTreeSet probe (parity mode passes
+    /// `None` and stays bit-identical to the legacy walk).
+    fn run_round(
+        &mut self,
+        round: u64,
+        blocked: &BlockSet,
+        downs: &BlockSet,
+        seq_local: &[u32],
+        cur_bits: Option<&SeqBits>,
+    ) {
         self.sent_bits = 0;
         self.sent_msgs = 0;
         let mut work = std::mem::replace(&mut self.dirty, std::mem::take(&mut self.dirty_scratch));
@@ -165,7 +259,11 @@ impl<P: Protocol> Shard<P> {
             }
             self.flags[local] = false;
             let id = self.ids[local];
-            if blocked.contains(id) || downs.contains(id) {
+            let blocked_now = match cur_bits {
+                Some(bits) => bits.get(seq),
+                None => blocked.contains(id),
+            };
+            if blocked_now || downs.contains(id) {
                 // Same as legacy: a blocked or down node neither runs nor
                 // sends; pending inbox content is discarded. It stays on
                 // the worklist (unless permanently passive) because it
@@ -208,6 +306,94 @@ impl<P: Protocol> Shard<P> {
         self.dirty_scratch = work;
         self.scratch = outbox;
     }
+
+    /// Fast-mode route pass: judge this shard's send arena and scatter the
+    /// survivors into `row` — one bucket per destination shard, receiver
+    /// already resolved to its sequence number. Runs concurrently across
+    /// shards: all shared inputs are read-only and fate randomness comes
+    /// from a private per-shard per-round stream.
+    ///
+    /// The judging sequence is the legacy [`XlNetwork::deliver_one`] rules
+    /// specialized to fresh protocol sends: the sender computed this arena,
+    /// so it was neither blocked nor down at send time and the sender-side
+    /// membership tests (`prev_blocked.contains(from)`, `down(from,
+    /// sent_round)`) are vacuously false and skipped. One observable
+    /// classification shift: the receiver lookup now comes first, so a
+    /// message to a departed *and* blocked receiver counts as
+    /// `dropped_missing`, not `dropped_blocked` (see DESIGN.md §10).
+    #[allow(clippy::too_many_arguments)]
+    fn route_fast(
+        &mut self,
+        row: &mut [Bucket<P::Msg>],
+        shard_idx: usize,
+        n_shards: usize,
+        round: u64,
+        master_seed: u64,
+        idmap: &IdMap,
+        prev_bits: &SeqBits,
+        cur_bits: &SeqBits,
+        downs: &BlockSet,
+        faults: &FaultModel,
+    ) {
+        let have_faults = !faults.is_null();
+        let mut fate_rng =
+            have_faults.then(|| stream(master_seed ^ FAST_FATE_SALT, shard_idx as u64, round));
+        let mut sent = std::mem::take(&mut self.sent);
+        let c = &mut self.fast_counts;
+        for (_, env) in sent.drain(..) {
+            let Some(&to_seq) = idmap.get(&env.to) else {
+                c.dropped_missing += 1;
+                continue;
+            };
+            if prev_bits.get(to_seq) || cur_bits.get(to_seq) {
+                c.dropped_blocked += 1;
+                continue;
+            }
+            let mut duplicate = false;
+            if have_faults {
+                if downs.contains(env.to) || faults.cut(env.from, env.to, round) {
+                    c.dropped_fault += 1;
+                    continue;
+                }
+                match faults.link_fate_with(fate_rng.as_mut().expect("faults installed")) {
+                    LinkFate::Deliver => {}
+                    LinkFate::Drop => {
+                        c.dropped_link += 1;
+                        continue;
+                    }
+                    LinkFate::Duplicate => duplicate = true,
+                    LinkFate::Delay(extra) => {
+                        c.delayed += 1;
+                        self.fast_delayed.push((round + extra, env));
+                        continue;
+                    }
+                }
+            }
+            c.delivered += 1;
+            let bucket = &mut row[to_seq as usize % n_shards];
+            let extra_copy = duplicate.then(|| env.clone());
+            bucket.push((to_seq, env));
+            if let Some(copy) = extra_copy {
+                c.duplicated += 1;
+                bucket.push((to_seq, copy));
+            }
+        }
+        self.sent = sent;
+    }
+
+    /// Fast-mode delivery pass: push every routed message bound for this
+    /// shard into its receiver's inbox, in (source shard, send order).
+    /// Runs concurrently across shards: touches only this shard's state.
+    fn absorb_fast(&mut self, row: &mut [Bucket<P::Msg>], seq_local: &[u32]) {
+        for bucket in row {
+            for (seq, env) in bucket.drain(..) {
+                let local = seq_local[seq as usize] as usize;
+                self.charge(local, env.msg.size_bits());
+                self.inboxes[local].push(env);
+                self.mark_dirty(seq, local);
+            }
+        }
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -220,7 +406,16 @@ pub struct XlNetwork<P: Protocol> {
     master_seed: u64,
     round: u64,
     n_shards: usize,
+    mode: ExecMode,
     shards: Vec<Shard<P>>,
+    /// Fast mode: the k × k routing matrix, row-major by source shard;
+    /// cell `(src, dst)` holds messages from `src` bound for `dst`. The
+    /// bucket vectors (and their capacity) persist across rounds.
+    fast_buckets: Vec<Bucket<P::Msg>>,
+    /// Fast mode: seq-indexed views of last round's and this round's block
+    /// sets, rebuilt every round.
+    prev_bits: SeqBits,
+    cur_bits: SeqBits,
     /// id → sequence number (the legacy slot index analogue).
     idmap: IdMap,
     /// seq → local index within shard `seq % n_shards`; [`VACANT`] if free.
@@ -252,12 +447,24 @@ impl<P: Protocol> XlNetwork<P> {
     /// automatic). The shard count is a pure performance knob: the digest
     /// stream is identical at every value.
     pub fn with_shards(master_seed: u64, shards: usize) -> Self {
+        Self::with_shards_mode(master_seed, shards, ExecMode::Parity)
+    }
+
+    /// Create an empty network with an explicit shard count and execution
+    /// mode. Under [`ExecMode::Fast`] the run is deterministic for a fixed
+    /// `(master_seed, shards)` pair but the digest stream differs from the
+    /// legacy/parity one — see the [`ExecMode`] docs.
+    pub fn with_shards_mode(master_seed: u64, shards: usize, mode: ExecMode) -> Self {
         let n_shards = if shards == 0 { crate::default_shards() } else { shards };
         Self {
             master_seed,
             round: 0,
             n_shards,
+            mode,
             shards: (0..n_shards).map(|_| Shard::new()).collect(),
+            fast_buckets: Vec::new(),
+            prev_bits: SeqBits::default(),
+            cur_bits: SeqBits::default(),
             idmap: IdMap::default(),
             seq_local: Vec::new(),
             free: Vec::new(),
@@ -277,6 +484,11 @@ impl<P: Protocol> XlNetwork<P> {
     /// Number of shards node state is split across.
     pub fn shard_count(&self) -> usize {
         self.n_shards
+    }
+
+    /// The execution mode this network was created with.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Attach a telemetry recorder (same semantics as
@@ -491,10 +703,15 @@ impl<P: Protocol> XlNetwork<P> {
         let downs =
             if self.faults.is_null() { BlockSet::none() } else { self.faults.down_set(round) };
 
-        // Step 1: deliver — matured delays first, then the merged arenas.
+        // Step 1: deliver — matured delays first, then last round's sends:
+        // merged serially in global key order (parity) or routed in
+        // parallel per shard (fast).
         {
             let _deliver = self.obs.telemetry().phase(Phase::Deliver);
-            self.deliver_all(round, blocked, &downs);
+            match self.mode {
+                ExecMode::Parity => self.deliver_all(round, blocked, &downs),
+                ExecMode::Fast => self.deliver_all_fast(round, blocked, &downs),
+            }
         }
 
         // Steps 2+3: compute and send, parallel over shards. Each shard
@@ -503,14 +720,20 @@ impl<P: Protocol> XlNetwork<P> {
         {
             let _compute = self.obs.telemetry().phase(Phase::Compute);
             let seq_local = &self.seq_local;
+            // Fast delivery already built a seq-indexed view of `blocked`;
+            // reuse it so the compute walk skips the BTreeSet probes too.
+            let cur_bits = match self.mode {
+                ExecMode::Fast => Some(&self.cur_bits),
+                ExecMode::Parity => None,
+            };
             let parallel = self.n_shards > 1 && self.idmap.len() >= simnet::PAR_THRESHOLD;
             if parallel {
                 self.shards
                     .par_iter_mut()
-                    .for_each(|sh| sh.run_round(round, blocked, &downs, seq_local));
+                    .for_each(|sh| sh.run_round(round, blocked, &downs, seq_local, cur_bits));
             } else {
                 for sh in &mut self.shards {
-                    sh.run_round(round, blocked, &downs, seq_local);
+                    sh.run_round(round, blocked, &downs, seq_local, cur_bits);
                 }
             }
         }
@@ -595,6 +818,109 @@ impl<P: Protocol> XlNetwork<P> {
         for (sh, run) in self.shards.iter_mut().zip(runs) {
             sh.sent = run;
         }
+    }
+
+    /// Fast-mode delivery: relaxed global order, parallel per shard.
+    ///
+    /// Matured delays and external injections keep the exact serial legacy
+    /// rules (they are rare and judged by id); the bulk protocol sends take
+    /// a two-pass route: (1) parallel over *source* shards, judge each
+    /// arena message and scatter survivors into the k × k bucket matrix,
+    /// (2) transpose the matrix in place, (3) parallel over *destination*
+    /// shards, drain each shard's buckets into inboxes in (source shard,
+    /// send order). Everything is deterministic for a fixed
+    /// `(master_seed, n_shards)`.
+    fn deliver_all_fast(&mut self, round: u64, blocked: &BlockSet, downs: &BlockSet) {
+        if !self.delayed.is_empty() {
+            let mut held =
+                std::mem::replace(&mut self.delayed, std::mem::take(&mut self.scratch_delayed));
+            for (due, env) in held.drain(..) {
+                if due <= round {
+                    self.deliver_one(env, round, blocked, downs, false);
+                } else {
+                    self.delayed.push((due, env));
+                }
+            }
+            self.scratch_delayed = held;
+        }
+
+        let k = self.n_shards;
+        if self.fast_buckets.len() != k * k {
+            self.fast_buckets = (0..k * k).map(|_| Vec::new()).collect();
+        }
+        self.prev_bits.rebuild(&self.prev_blocked, &self.idmap, self.seq_local.len());
+        self.cur_bits.rebuild(blocked, &self.idmap, self.seq_local.len());
+        let parallel = k > 1 && self.idmap.len() >= simnet::PAR_THRESHOLD;
+
+        // Route pass, parallel over source shards.
+        {
+            let master_seed = self.master_seed;
+            let idmap = &self.idmap;
+            let (prev_bits, cur_bits) = (&self.prev_bits, &self.cur_bits);
+            let faults = &self.faults;
+            let mut jobs: Vec<RouteJob<'_, P>> = self
+                .shards
+                .iter_mut()
+                .zip(self.fast_buckets.chunks_mut(k))
+                .enumerate()
+                .map(|(i, (sh, row))| (i, sh, row))
+                .collect();
+            let route = |(i, sh, row): &mut RouteJob<'_, P>| {
+                sh.route_fast(
+                    row,
+                    *i,
+                    k,
+                    round,
+                    master_seed,
+                    idmap,
+                    prev_bits,
+                    cur_bits,
+                    downs,
+                    faults,
+                );
+            };
+            if parallel {
+                jobs.par_iter_mut().for_each(route);
+            } else {
+                jobs.iter_mut().for_each(route);
+            }
+        }
+
+        // Serial glue, in shard order so totals and the delay queue stay
+        // deterministic; then transpose so each destination owns a row.
+        for sh in &mut self.shards {
+            sh.fast_counts.fold_into(&mut self.trace);
+            self.delayed.append(&mut sh.fast_delayed);
+        }
+        for src in 0..k {
+            for dst in src + 1..k {
+                self.fast_buckets.swap(src * k + dst, dst * k + src);
+            }
+        }
+
+        // Delivery pass, parallel over destination shards.
+        {
+            let seq_local = &self.seq_local;
+            let mut jobs: Vec<AbsorbJob<'_, P>> =
+                self.shards.iter_mut().zip(self.fast_buckets.chunks_mut(k)).collect();
+            if parallel {
+                jobs.par_iter_mut().for_each(|(sh, row)| sh.absorb_fast(row, seq_local));
+            } else {
+                for (sh, row) in &mut jobs {
+                    sh.absorb_fast(row, seq_local);
+                }
+            }
+        }
+
+        // Injections last — the legacy keying sorts them after all sends.
+        if !self.injected.is_empty() {
+            let mut inj = std::mem::take(&mut self.injected);
+            for (_, env) in inj.drain(..) {
+                self.deliver_one(env, round, blocked, downs, true);
+            }
+            self.injected = inj;
+        }
+        self.inject_seq = 0;
     }
 
     /// One message through the delivery rules — byte-for-byte the legacy
@@ -857,6 +1183,18 @@ use simnet::checkpoint::{
     CkptError, CkptResult,
 };
 
+/// The execution-mode stamp of a checkpoint. Checkpoints written before
+/// the stamp existed carry no field and are parity by definition (the
+/// legacy engine and parity mode are the only writers they can come from).
+fn exec_mode_of(v: &Value) -> CkptResult<ExecMode> {
+    match get_str(v, "exec_mode") {
+        Err(_) => Ok(ExecMode::Parity),
+        Ok(s) => {
+            ExecMode::parse(s).ok_or_else(|| CkptError::Corrupt(format!("unknown exec mode `{s}`")))
+        }
+    }
+}
+
 impl<P> XlNetwork<P>
 where
     P: Protocol + Checkpoint,
@@ -888,12 +1226,19 @@ where
         let mut pending: Vec<&(Key, Envelope<P::Msg>)> = self.pending().collect();
         pending.sort_unstable_by_key(|(key, _)| *key);
         let in_flight: Vec<Value> = pending.iter().map(|(_, env)| env.save()).collect();
+        // Fast mode also persists the sort keys: a fast resume rebuilds the
+        // per-shard send arenas from them so the interrupted round routes
+        // (and draws per-shard fate randomness) exactly like the
+        // uninterrupted run would have. Parity restores don't need them —
+        // the serial merge order is the key order by construction.
+        let in_flight_keys: Option<Vec<u64>> =
+            (self.mode == ExecMode::Fast).then(|| pending.iter().map(|(key, _)| *key).collect());
         let delayed: Vec<Value> = self
             .delayed
             .iter()
             .map(|(due, env)| serde_json::json!({ "due": *due, "env": env.save() }))
             .collect();
-        serde_json::json!({
+        let mut out = serde_json::json!({
             "format": "simnet-network-checkpoint",
             "version": 1u64,
             "master_seed": self.master_seed,
@@ -905,13 +1250,25 @@ where
             "prev_blocked": self.prev_blocked.save(),
             "faults": self.faults.save(),
             "par_mode": "auto",
+            "exec_mode": self.mode.name(),
             "digests_enabled": self.digests_enabled,
             "digest_stamp": self.round_digest(),
-        })
+        });
+        if let Some(keys) = in_flight_keys {
+            let Value::Object(top) = &mut out else { unreachable!("json! object") };
+            top.insert("in_flight_keys".into(), Value::from(keys));
+        }
+        out
     }
 
     /// Rebuild from [`Self::save_state`] output — or from a checkpoint the
     /// *legacy* engine wrote. `shards` as in [`Self::with_shards`].
+    ///
+    /// This is the **strict parity loader**: a checkpoint stamped with a
+    /// different execution mode is rejected with
+    /// [`CkptError::ModeMismatch`] — a fast run resumed under parity (or
+    /// vice versa) would silently diverge from both oracles, so crossing
+    /// modes must be asked for explicitly via [`Self::from_state_as`].
     ///
     /// Mid-round legacy checkpoints with a non-empty slot outbox cannot be
     /// represented here (the sharded engine has no persistent per-node
@@ -919,6 +1276,23 @@ where
     /// checkpoint — all the engine and [`simnet::Checkpointer`] ever write
     /// — restores exactly.
     pub fn from_state_with_shards(v: &Value, shards: usize) -> CkptResult<Self> {
+        let stamped = exec_mode_of(v)?;
+        if stamped != ExecMode::Parity {
+            return Err(CkptError::ModeMismatch {
+                checkpoint: stamped.name(),
+                engine: ExecMode::Parity.name(),
+            });
+        }
+        Self::from_state_as(v, shards, ExecMode::Parity)
+    }
+
+    /// Rebuild a checkpoint into an engine of the given mode, regardless
+    /// of the mode the checkpoint was written under. The strict loaders
+    /// ([`Self::from_state_with_shards`], [`simnet::Network::from_state`])
+    /// refuse cross-mode resumes; this is the intentional conversion path
+    /// — state converts exactly (the digest stamp still has to verify),
+    /// only the delivery order of *future* rounds changes.
+    pub fn from_state_as(v: &Value, shards: usize, mode: ExecMode) -> CkptResult<Self> {
         match get_str(v, "format") {
             Ok("simnet-network-checkpoint") => {}
             Ok(other) => {
@@ -930,7 +1304,8 @@ where
             "auto" | "serial" | "parallel" => {} // legacy knob; no xl analogue
             other => return Err(CkptError::Corrupt(format!("unknown par mode `{other}`"))),
         }
-        let mut net = Self::with_shards(get_u64(v, "master_seed")?, shards);
+        exec_mode_of(v)?; // reject unknown stamps even when converting
+        let mut net = Self::with_shards_mode(get_u64(v, "master_seed")?, shards, mode);
         net.round = get_u64(v, "round")?;
         net.digests_enabled = get_bool(v, "digests_enabled")?;
         net.prev_blocked = BlockSet::load(field(v, "prev_blocked")?)?;
@@ -978,12 +1353,44 @@ where
             })
             .collect::<CkptResult<Vec<u32>>>()?;
 
-        // The legacy queue order carries over as ascending keys in a single
-        // "injected" run; later injections continue after it (INJECT_BIT
-        // sorts them last, matching the append).
         let in_flight: Vec<Envelope<P::Msg>> = simnet::checkpoint::get_vec(v, "in_flight")?;
-        net.inject_seq = in_flight.len() as u64;
-        net.injected = in_flight.into_iter().enumerate().map(|(i, env)| (i as Key, env)).collect();
+        match v.get("in_flight_keys") {
+            Some(keys) if mode == ExecMode::Fast => {
+                // Fast resume: scatter pending messages back into the
+                // per-shard send arenas by their original sort key, so the
+                // next round's route pass (and its per-shard fate streams)
+                // replays the interrupted run exactly. The globally sorted
+                // checkpoint order keeps every per-shard run key-sorted.
+                let Value::Array(keys) = keys else {
+                    return Err(CkptError::Corrupt("in_flight_keys is not an array".into()));
+                };
+                if keys.len() != in_flight.len() {
+                    return Err(CkptError::Corrupt(format!(
+                        "in_flight_keys length {} does not match in_flight length {}",
+                        keys.len(),
+                        in_flight.len()
+                    )));
+                }
+                for (key, env) in keys.iter().zip(in_flight) {
+                    let key = key.as_u64().ok_or_else(|| missing("in-flight key"))?;
+                    if key & INJECT_BIT != 0 {
+                        net.inject_seq = net.inject_seq.max((key & !INJECT_BIT) + 1);
+                        net.injected.push((key, env));
+                    } else {
+                        net.shards[(key >> 32) as usize % net.n_shards].sent.push((key, env));
+                    }
+                }
+            }
+            _ => {
+                // Parity (and keyless fast) restore: the legacy queue order
+                // carries over as ascending keys in a single "injected"
+                // run; later injections continue after it (INJECT_BIT
+                // sorts them last, matching the append).
+                net.inject_seq = in_flight.len() as u64;
+                net.injected =
+                    in_flight.into_iter().enumerate().map(|(i, env)| (i as Key, env)).collect();
+            }
+        }
         for entry in get_array(v, "delayed")? {
             net.delayed.push((get_u64(entry, "due")?, Envelope::load(field(entry, "env")?)?));
         }
@@ -1326,6 +1733,188 @@ mod tests {
         }
         assert_eq!(a.gauge("net.max_node_bits"), b.gauge("net.max_node_bits"));
         assert_eq!(a.gauge("net.nodes"), b.gauge("net.nodes"));
+    }
+
+    /// Order-insensitive protocol: the state folds received messages with
+    /// a commutative op and draws no randomness, so parity and fast mode
+    /// must agree *exactly*, not just statistically.
+    #[derive(Clone)]
+    struct RingSum {
+        next: NodeId,
+        acc: u64,
+        left: u64,
+    }
+
+    impl Protocol for RingSum {
+        type Msg = u64;
+
+        fn digest(&self, d: &mut Digest) {
+            d.write_u64(self.acc).write_u64(self.left);
+        }
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.left == 0 {
+                return;
+            }
+            self.left -= 1;
+            for env in ctx.take_inbox() {
+                self.acc = self.acc.wrapping_add(env.msg);
+            }
+            let next = self.next;
+            let acc = self.acc;
+            ctx.send(next, acc | 1);
+            ctx.send(next, 3);
+        }
+
+        fn quiescent(&self) -> bool {
+            self.left == 0
+        }
+    }
+
+    fn ring_scenario(mut net: impl SimEngine<RingSum>) -> Vec<RoundDigest> {
+        let n = 20u64;
+        for i in 0..n {
+            net.add_node(NodeId(i), RingSum { next: NodeId((i + 1) % n), acc: i, left: 18 });
+        }
+        net.enable_digests();
+        for r in 0..24u64 {
+            if r == 7 {
+                net.remove_node(NodeId(13)); // in-flight mail to 13 goes missing
+            }
+            let blocked = BlockSet::from_iter((0..n).filter(|i| (i + r) % 5 == 0).map(NodeId));
+            net.step_blocked(&blocked);
+        }
+        net.trace().digests().to_vec()
+    }
+
+    #[test]
+    fn fast_mode_equals_parity_for_order_insensitive_protocols() {
+        // With commutative state folds and no protocol randomness, relaxed
+        // delivery order is invisible to the digest: every mode and shard
+        // count must produce the identical stream.
+        let parity = ring_scenario(XlNetwork::<RingSum>::with_shards(0xABCD, 3));
+        assert!(!parity.is_empty());
+        for shards in [1, 2, 7, 16] {
+            let fast = ring_scenario(XlNetwork::<RingSum>::with_shards_mode(
+                0xABCD,
+                shards,
+                ExecMode::Fast,
+            ));
+            assert_eq!(fast, parity, "fast shards={shards}");
+        }
+    }
+
+    #[test]
+    fn fast_mode_is_deterministic_per_seed_and_shards() {
+        let run = |shards| {
+            let mut net = XlNetwork::<Gossip>::with_shards_mode(0xF00D, shards, ExecMode::Fast);
+            net.set_fault_model(stress_faults());
+            scenario(&mut net)
+        };
+        assert_eq!(run(4), run(4), "same (seed, shards) must replay exactly");
+        // Different shard counts are *allowed* to differ in fast mode (the
+        // fate streams are per-shard), but both runs must finish coherently.
+        let (d1, s1) = run(1);
+        let (d7, s7) = run(7);
+        assert_eq!(d1.len(), d7.len());
+        assert_eq!(s1.len(), s7.len());
+    }
+
+    #[test]
+    fn fast_checkpoint_round_trips_within_fast_mode() {
+        let mk = || {
+            let mut net = XlNetwork::<Gossip>::with_shards_mode(0x7EA5, 4, ExecMode::Fast);
+            net.set_fault_model(stress_faults());
+            let n = 16u64;
+            for i in 0..n {
+                net.add_node(NodeId(i), node(i, n, 30));
+            }
+            net.enable_digests();
+            net.run(9);
+            net
+        };
+        let mut orig = mk();
+        let snap = orig.save_state();
+        assert_eq!(get_str(&snap, "exec_mode").unwrap(), "fast");
+
+        // Same shard count: the resumed run replays the original exactly.
+        let mut twin = XlNetwork::<Gossip>::from_state_as(&snap, 4, ExecMode::Fast).unwrap();
+        assert_eq!(twin.round_digest(), orig.round_digest());
+        twin.set_fault_model(stress_faults());
+        twin.enable_digests();
+        orig.run(8);
+        twin.run(8);
+        assert_eq!(orig.trace().digests()[9..], twin.trace().digests()[..]);
+    }
+
+    #[test]
+    fn cross_mode_resume_is_rejected_with_typed_error() {
+        let mut fast = XlNetwork::<Gossip>::with_shards_mode(0xBAD5EED, 2, ExecMode::Fast);
+        for i in 0..6 {
+            fast.add_node(NodeId(i), node(i, 6, 10));
+        }
+        fast.run(5);
+        let snap = fast.save_state();
+
+        // The strict parity loaders refuse a fast checkpoint...
+        for res in [
+            XlNetwork::<Gossip>::from_state(&snap).err(),
+            XlNetwork::<Gossip>::from_state_with_shards(&snap, 2).err(),
+        ] {
+            match res {
+                Some(CkptError::ModeMismatch { checkpoint, engine }) => {
+                    assert_eq!((checkpoint, engine), ("fast", "parity"));
+                }
+                other => panic!("expected ModeMismatch, got {other:?}"),
+            }
+        }
+        // ...and so does the legacy engine.
+        match Network::<Gossip>::from_state(&snap).err() {
+            Some(CkptError::ModeMismatch { checkpoint, engine }) => {
+                assert_eq!((checkpoint, engine), ("fast", "parity"));
+            }
+            other => panic!("expected legacy ModeMismatch, got {other:?}"),
+        }
+        // The explicit conversion path works in both directions.
+        let conv = XlNetwork::<Gossip>::from_state_as(&snap, 3, ExecMode::Parity).unwrap();
+        assert_eq!(conv.exec_mode(), ExecMode::Parity);
+        assert_eq!(conv.round_digest(), fast.round_digest());
+        let back = XlNetwork::<Gossip>::from_state_as(&conv.save_state(), 2, ExecMode::Fast);
+        assert_eq!(back.unwrap().exec_mode(), ExecMode::Fast);
+
+        // A garbled stamp is corrupt, even for the conversion loader.
+        let mut garbled = snap.clone();
+        let Value::Object(top) = &mut garbled else { panic!("object") };
+        top.insert("exec_mode".into(), Value::String("turbo".into()));
+        for res in [
+            XlNetwork::<Gossip>::from_state(&garbled).err(),
+            XlNetwork::<Gossip>::from_state_as(&garbled, 2, ExecMode::Fast).err(),
+        ] {
+            match res {
+                Some(CkptError::Corrupt(msg)) => assert!(msg.contains("turbo"), "got: {msg}"),
+                other => panic!("expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parity_checkpoints_resume_under_strict_loaders() {
+        // Mode-stamping must not break the existing parity flows: a parity
+        // checkpoint restores through every loader, stamped or legacy.
+        let mut net = XlNetwork::<Gossip>::with_shards(0xCAFE, 3);
+        for i in 0..6 {
+            net.add_node(NodeId(i), node(i, 6, 10));
+        }
+        net.run(4);
+        let snap = net.save_state();
+        assert_eq!(get_str(&snap, "exec_mode").unwrap(), "parity");
+        assert!(XlNetwork::<Gossip>::from_state(&snap).is_ok());
+        assert!(Network::<Gossip>::from_state(&snap).is_ok());
+        // Checkpoints that predate the stamp (no field) are parity.
+        let mut old = snap.clone();
+        let Value::Object(top) = &mut old else { panic!("object") };
+        top.remove("exec_mode");
+        assert!(XlNetwork::<Gossip>::from_state(&old).is_ok());
     }
 
     #[test]

@@ -42,12 +42,24 @@
 //! engines, and attaches the same `net.*` telemetry metrics and phase
 //! profile so `trace-report` renders either backend.
 //!
+//! ## Relaxed-order fast mode
+//!
+//! Digest parity is the default, not the only option: [`ExecMode::Fast`]
+//! (`SIMNET_BACKEND=xl:fast:<shards>`) drops the serial global merge and
+//! routes messages in parallel per shard with per-shard fault-RNG streams.
+//! Runs stay deterministic for a fixed `(seed, shard count)` but are only
+//! *statistically* equivalent to parity runs — the `overlay-stats`
+//! equivalence harness and `tests/fast_mode_equivalence.rs` are the
+//! oracle for that mode. See the [`ExecMode`] docs and DESIGN.md §10.
+//!
 //! Use [`Backend`] / the `SIMNET_BACKEND` environment knob to pick an
 //! engine at runtime, and [`AnyNet`] to hold either behind the
 //! [`simnet::SimEngine`] trait.
 
 mod any;
 mod engine;
+mod mode;
 
 pub use any::{default_shards, AnyNet, Backend, BACKEND_ENV};
 pub use engine::XlNetwork;
+pub use mode::ExecMode;

@@ -36,6 +36,16 @@ pub enum CkptError {
         /// Digest of the state actually restored.
         restored: u64,
     },
+    /// The checkpoint was written under a different execution mode than
+    /// the engine asked to restore it (e.g. a relaxed-order `fast` run
+    /// resumed into a parity engine). Cross-mode resumes would silently
+    /// change the run's ordering guarantees, so they must be explicit.
+    ModeMismatch {
+        /// Execution mode recorded in the checkpoint.
+        checkpoint: &'static str,
+        /// Execution mode of the engine attempting the restore.
+        engine: &'static str,
+    },
 }
 
 impl fmt::Display for CkptError {
@@ -48,6 +58,12 @@ impl fmt::Display for CkptError {
                 f,
                 "checkpoint digest mismatch: stamped {stamped:#018x}, restored state hashes \
                  to {restored:#018x}"
+            ),
+            CkptError::ModeMismatch { checkpoint, engine } => write!(
+                f,
+                "checkpoint exec-mode mismatch: the checkpoint was written by a `{checkpoint}` \
+                 run but a `{engine}` engine is restoring it; resume with a matching engine (or \
+                 convert explicitly via XlNetwork::from_state_as)"
             ),
         }
     }

@@ -637,6 +637,17 @@ where
             }
             Err(e) => return Err(e),
         }
+        // Checkpoints written before the exec-mode tag existed carry no
+        // `exec_mode` field and are parity by construction. A relaxed-order
+        // (`fast`) checkpoint must not silently resume into this engine:
+        // the legacy engine only implements the global-order semantics.
+        match get_str(v, "exec_mode") {
+            Err(_) | Ok("parity") => {}
+            Ok("fast") => {
+                return Err(CkptError::ModeMismatch { checkpoint: "fast", engine: "parity" })
+            }
+            Ok(other) => return Err(CkptError::Corrupt(format!("unknown exec mode `{other}`"))),
+        }
         let mut slots: Vec<Option<Slot<P>>> = Vec::new();
         let mut index = HashMap::new();
         for (i, slot) in get_array(v, "slots")?.iter().enumerate() {

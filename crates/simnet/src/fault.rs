@@ -326,23 +326,37 @@ impl FaultModel {
     /// delay order) plus one for the delay length, so the stream position
     /// is a pure function of the judged-message sequence.
     pub fn link_fate(&mut self) -> LinkFate {
-        if self.link.is_null() {
-            return LinkFate::Deliver;
-        }
-        if self.link.drop_prob > 0.0 && self.rng.random::<f64>() < self.link.drop_prob {
-            return LinkFate::Drop;
-        }
-        if self.link.dup_prob > 0.0 && self.rng.random::<f64>() < self.link.dup_prob {
-            return LinkFate::Duplicate;
-        }
-        if self.link.delay_prob > 0.0
-            && self.link.max_delay > 0
-            && self.rng.random::<f64>() < self.link.delay_prob
-        {
-            return LinkFate::Delay(self.rng.random_range(1..=self.link.max_delay));
-        }
-        LinkFate::Deliver
+        let link = self.link;
+        judge_link_fate(&link, &mut self.rng)
     }
+
+    /// [`Self::link_fate`] drawing from a caller-supplied stream instead of
+    /// the model's own. Relaxed-order backends (simnet-xl fast mode) use
+    /// per-shard streams so shards can judge fates concurrently; the draw
+    /// discipline (one uniform per configured fate, in drop > duplicate >
+    /// delay order) is identical, so per-stream fate sequences stay a pure
+    /// function of that stream's judged-message order.
+    pub fn link_fate_with(&self, rng: &mut NodeRng) -> LinkFate {
+        judge_link_fate(&self.link, rng)
+    }
+}
+
+/// Shared fate-judging core of [`FaultModel::link_fate`] /
+/// [`FaultModel::link_fate_with`].
+fn judge_link_fate(link: &LinkFaults, rng: &mut NodeRng) -> LinkFate {
+    if link.is_null() {
+        return LinkFate::Deliver;
+    }
+    if link.drop_prob > 0.0 && rng.random::<f64>() < link.drop_prob {
+        return LinkFate::Drop;
+    }
+    if link.dup_prob > 0.0 && rng.random::<f64>() < link.dup_prob {
+        return LinkFate::Duplicate;
+    }
+    if link.delay_prob > 0.0 && link.max_delay > 0 && rng.random::<f64>() < link.delay_prob {
+        return LinkFate::Delay(rng.random_range(1..=link.max_delay));
+    }
+    LinkFate::Deliver
 }
 
 // ---------------------------------------------------------------------------

@@ -34,6 +34,45 @@ pub fn uniform_fit(observed: &[u64]) -> (f64, f64) {
     (stat, chi_square_pvalue(stat, (observed.len() - 1) as f64))
 }
 
+/// Two-sample chi-square homogeneity test: were `a` and `b` drawn from the
+/// same distribution over the shared cells?
+///
+/// Builds the 2 × k contingency table, computes expectations under the
+/// pooled (homogeneous) hypothesis, and returns `(statistic, p_value)`
+/// with `df = k' - 1` where `k'` counts cells with a non-zero pooled
+/// total (both-empty cells carry no information and are skipped). Returns
+/// `(0.0, 1.0)` when fewer than two informative cells or either sample is
+/// empty — a degenerate table cannot witness a difference.
+///
+/// The caller is responsible for bucket widths; for validity of the
+/// chi-square approximation merge buckets until expected counts are ≥ 5
+/// (see `equivalence::merge_low_buckets`).
+pub fn homogeneity(a: &[u64], b: &[u64]) -> (f64, f64) {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    if na == 0 || nb == 0 {
+        return (0.0, 1.0);
+    }
+    let n = (na + nb) as f64;
+    let (mut stat, mut cells) = (0.0f64, 0usize);
+    for (&x, &y) in a.iter().zip(b) {
+        let pooled = (x + y) as f64;
+        if pooled == 0.0 {
+            continue;
+        }
+        cells += 1;
+        let ea = na as f64 * pooled / n;
+        let eb = nb as f64 * pooled / n;
+        let (da, db) = (x as f64 - ea, y as f64 - eb);
+        stat += da * da / ea + db * db / eb;
+    }
+    if cells < 2 {
+        return (0.0, 1.0);
+    }
+    (stat, chi_square_pvalue(stat, (cells - 1) as f64))
+}
+
 /// Upper-tail p-value `P[X >= stat]` for a chi-square distribution with
 /// `df` degrees of freedom: the regularized upper incomplete gamma
 /// `Q(df/2, stat/2)`.
@@ -169,5 +208,65 @@ mod tests {
         assert!((ln_gamma(5.0) - (24f64).ln()).abs() < 1e-9);
         assert!((ln_gamma(1.0)).abs() < 1e-9);
         assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn homogeneity_of_identical_tables_is_exact() {
+        // Closed form: identical rows give expected == observed in every
+        // cell, so the statistic is exactly 0 and p exactly 1.
+        let a = [30u64, 50, 20, 0, 40];
+        let (stat, p) = homogeneity(&a, &a);
+        assert_eq!(stat, 0.0);
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn homogeneity_accepts_uniform_vs_uniform() {
+        // Two independent near-uniform draws over 6 cells: the statistic
+        // stays far below the rejection region.
+        let a = [101u64, 98, 103, 99, 100, 99];
+        let b = [97u64, 104, 99, 101, 96, 103];
+        let (stat, p) = homogeneity(&a, &b);
+        assert!(stat < 5.0, "stat {stat}");
+        assert!(p > 0.2, "p {p}");
+    }
+
+    #[test]
+    fn homogeneity_rejects_shifted_binomial() {
+        // Binomial(4, 1/2) scaled to 1600 samples vs the same histogram
+        // shifted one cell right: grossly different profiles.
+        let a = [100u64, 400, 600, 400, 100, 0];
+        let b = [0u64, 100, 400, 600, 400, 100];
+        let (_, p) = homogeneity(&a, &b);
+        assert!(p < 1e-12, "p {p}");
+    }
+
+    #[test]
+    fn homogeneity_known_two_by_two_value() {
+        // Hand-computed 2×2 table: a = [10, 20], b = [20, 10].
+        // Pooled = [30, 30], N = 60, every expectation is 15, each of the
+        // four cells contributes 25/15, stat = 100/15 = 6.666…, df = 1.
+        let (stat, p) = homogeneity(&[10, 20], &[20, 10]);
+        assert!((stat - 100.0 / 15.0).abs() < 1e-12, "stat {stat}");
+        assert!((p - chi_square_pvalue(100.0 / 15.0, 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn homogeneity_degenerate_tables_are_inconclusive() {
+        // Single-bucket histograms (or all mass pooled in one cell) have
+        // df = 0: nothing can be rejected.
+        assert_eq!(homogeneity(&[42], &[17]), (0.0, 1.0));
+        assert_eq!(homogeneity(&[5, 0, 0], &[9, 0, 0]), (0.0, 1.0));
+        // Empty samples are likewise inconclusive, not a panic.
+        assert_eq!(homogeneity(&[0, 0], &[3, 4]), (0.0, 1.0));
+    }
+
+    #[test]
+    fn homogeneity_skips_empty_cells() {
+        // A both-zero cell must not change the result.
+        let (s1, p1) = homogeneity(&[10, 20], &[20, 10]);
+        let (s2, p2) = homogeneity(&[10, 0, 20], &[20, 0, 10]);
+        assert_eq!(s1, s2);
+        assert_eq!(p1, p2);
     }
 }

@@ -13,16 +13,25 @@
 //!   used to size constants like `c` in Lemma 7 and Lemma 16.
 //! * [`shape`] — growth-shape fitting to distinguish `Θ(log log n)` from
 //!   `Θ(log n)` round-count series (the exponential-improvement claim).
+//! * [`equivalence`] — the statistical-equivalence harness that validates
+//!   relaxed-order execution modes (simnet-xl `fast`) against the parity
+//!   oracle: TV distance plus chi-square homogeneity with documented
+//!   rejection thresholds.
 
 pub mod chernoff;
 pub mod chi_square;
+pub mod equivalence;
 pub mod histogram;
 pub mod shape;
 pub mod summary;
 pub mod tv;
 
 pub use chernoff::{chernoff_lower, chernoff_upper, smallest_c_for_whp};
-pub use chi_square::{chi_square_pvalue, chi_square_stat, uniform_fit};
+pub use chi_square::{chi_square_pvalue, chi_square_stat, homogeneity, uniform_fit};
+pub use equivalence::{
+    merge_low_buckets, pool_counts, tv_threshold, EquivalenceCheck, EquivalenceConfig,
+    EquivalenceHarness, EquivalenceReport,
+};
 pub use histogram::{BucketHistogram, Histogram};
 pub use shape::{fit_log, fit_loglog, GrowthFit};
 pub use summary::Summary;

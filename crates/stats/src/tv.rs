@@ -65,4 +65,32 @@ mod tests {
     fn empty_counts_are_zero_distance() {
         assert_eq!(tv_distance_uniform(&[], 10), 0.0);
     }
+
+    #[test]
+    fn shifted_binomial_has_closed_form_distance() {
+        // Binomial(2, 1/2) = [1/4, 1/2, 1/4] against itself shifted one
+        // cell right: TV = 0.5 * (1/4 + 1/4 + 1/4 + 1/4) = 1/2.
+        let p = [0.25, 0.5, 0.25, 0.0];
+        let q = [0.0, 0.25, 0.5, 0.25];
+        assert!((tv_distance(&p, &q) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_single_bucket_histograms() {
+        // All mass in one cell on both sides: identical point masses are
+        // at distance 0, disjoint point masses at the maximum 1.
+        assert_eq!(tv_distance(&[1.0], &[1.0]), 0.0);
+        assert_eq!(tv_distance(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]), 1.0);
+        // Uniform over a support of one cell IS the point mass.
+        assert_eq!(tv_distance_uniform(&[999], 1), 0.0);
+    }
+
+    #[test]
+    fn uniform_vs_uniform_counts_at_different_scales() {
+        // Same uniform shape at different sample sizes: exactly zero.
+        let small = [10u64, 10, 10, 10];
+        assert_eq!(tv_distance_uniform(&small, 4), 0.0);
+        let large = [100_000u64; 4];
+        assert_eq!(tv_distance_uniform(&large, 4), 0.0);
+    }
 }

@@ -49,11 +49,17 @@ checkpoint:
 a6 *flags="":
     cargo run --release -p reconfig-bench --bin exp_a6_adaptive_adversary -- {{flags}}
 
-# Engine-scaling benchmark (legacy vs simnet-xl); `just s1 --smoke` for the
-# CI digest-parity gate at n=5e4, bare `just s1` for the full n=1e6 sweep
+# Engine-scaling benchmark (legacy vs simnet-xl, parity and fast modes);
+# `just s1 --smoke --cores 4` for the CI mode x shard gate at n=5e4, bare
+# `just s1 --cores 4` for the full shards x cores x mode sweep to n=1e7
 # (rewrites results/s1.json and BENCH_S1.json).
 s1 *flags="":
     cargo run --release -p reconfig-bench --bin exp_s1_scale -- {{flags}}
+
+# Statistical equivalence of xl:fast vs the parity oracle (TV + chi-square
+# over all golden families); EQUIV_SAMPLES scales the replicate count.
+equivalence *flags="":
+    cargo test -p integration-tests --test fast_mode_equivalence {{flags}}
 
 # Checkpointed adversarial soak; pass soak flags through, e.g.
 # `just soak --family dos --epochs 200 --dir soak-out [--resume]`.

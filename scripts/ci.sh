@@ -49,7 +49,10 @@ FUZZ_CASES="${FUZZ_CASES:-100}" cargo test -q -p integration-tests --test shrink
 echo "==> adaptive-adversary boundary (A6 smoke sweep)"
 cargo run -q --release -p reconfig-bench --bin exp_a6_adaptive_adversary -- --smoke
 
-echo "==> s1-smoke: legacy vs simnet-xl digest parity at n=5e4"
-cargo run -q --release -p reconfig-bench --bin exp_s1_scale -- --smoke
+echo "==> s1-smoke: mode x shard matrix at n=5e4 (parity 1/4 vs legacy, fast 4 reproducible)"
+cargo run -q --release -p reconfig-bench --bin exp_s1_scale -- --smoke --cores 4
+
+echo "==> fast-mode statistical equivalence (EQUIV_SAMPLES=${EQUIV_SAMPLES:-3})"
+EQUIV_SAMPLES="${EQUIV_SAMPLES:-3}" cargo test -q -p integration-tests --test fast_mode_equivalence
 
 echo "CI gate passed."
