@@ -1,11 +1,12 @@
 //! Validated environment-driven tuning knobs.
 //!
 //! The fuzz and fault harnesses take their workload sizes from environment
-//! variables (`FUZZ_CASES`, `SOAK_ROUNDS`, ...). Raw `parse().unwrap()`
-//! turns a typo into an opaque panic; these helpers name the variable and
-//! the offending value in the error, and clamp in-range-but-extreme values
-//! into the documented band instead of letting a fat-fingered exponent
-//! melt CI.
+//! variables (`FUZZ_CASES`, `SOAK_ROUNDS`, `BYZ_CASES`, ...). Raw
+//! `parse().unwrap()` turns a typo into an opaque panic; these helpers name
+//! the variable, the offending value and the permitted band in the error.
+//! Out-of-range values are **rejected**, not silently clamped: a
+//! fat-fingered exponent should fail loudly rather than quietly run a
+//! different workload than the one asked for.
 
 use std::fmt;
 
@@ -16,23 +17,47 @@ pub struct KnobError {
     pub name: String,
     /// The raw value found there.
     pub value: String,
+    /// What was wrong with it.
+    pub reason: KnobReason,
+}
+
+/// The specific defect in a rejected knob value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KnobReason {
+    /// Empty or not parseable as a non-negative integer.
+    NotAnInteger,
+    /// Parsed fine but fell outside the documented band.
+    OutOfRange {
+        /// Inclusive lower bound.
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    },
 }
 
 impl fmt::Display for KnobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "environment variable {} must be a non-negative integer, got `{}`",
-            self.name, self.value
-        )
+        match self.reason {
+            KnobReason::NotAnInteger => write!(
+                f,
+                "environment variable {} must be a non-negative integer, got `{}`",
+                self.name, self.value
+            ),
+            KnobReason::OutOfRange { lo, hi } => write!(
+                f,
+                "environment variable {} must be in [{lo}, {hi}], got `{}`",
+                self.name, self.value
+            ),
+        }
     }
 }
 
 impl std::error::Error for KnobError {}
 
 /// Parse an already-fetched knob value: `None` (unset) yields `default`,
-/// a valid integer is clamped into `[lo, hi]`, anything else is a
-/// [`KnobError`] naming the variable.
+/// an integer inside `[lo, hi]` passes through, and anything else — empty,
+/// non-numeric, or out of range — is a [`KnobError`] naming the variable,
+/// the value, and the permitted band.
 pub fn parse_usize_knob(
     name: &str,
     raw: Option<&str>,
@@ -43,8 +68,17 @@ pub fn parse_usize_knob(
     match raw {
         None => Ok(default),
         Some(text) => match text.trim().parse::<usize>() {
-            Ok(v) => Ok(v.clamp(lo, hi)),
-            Err(_) => Err(KnobError { name: name.to_string(), value: text.to_string() }),
+            Ok(v) if (lo..=hi).contains(&v) => Ok(v),
+            Ok(_) => Err(KnobError {
+                name: name.to_string(),
+                value: text.to_string(),
+                reason: KnobReason::OutOfRange { lo, hi },
+            }),
+            Err(_) => Err(KnobError {
+                name: name.to_string(),
+                value: text.to_string(),
+                reason: KnobReason::NotAnInteger,
+            }),
         },
     }
 }
@@ -73,18 +107,37 @@ mod tests {
     fn in_range_values_pass_through() {
         assert_eq!(parse_usize_knob("X", Some("250"), 100, 1, 1000), Ok(250));
         assert_eq!(parse_usize_knob("X", Some(" 7 "), 100, 1, 1000), Ok(7));
+        // Boundary values are in range, not rejected.
+        assert_eq!(parse_usize_knob("X", Some("1"), 100, 1, 1000), Ok(1));
+        assert_eq!(parse_usize_knob("X", Some("1000"), 100, 1, 1000), Ok(1000));
     }
 
     #[test]
-    fn extreme_values_clamp_into_the_band() {
-        assert_eq!(parse_usize_knob("X", Some("999999999"), 100, 1, 1000), Ok(1000));
-        assert_eq!(parse_usize_knob("X", Some("0"), 100, 1, 1000), Ok(1));
+    fn out_of_range_values_are_rejected_not_clamped() {
+        let err = parse_usize_knob("X", Some("999999999"), 100, 1, 1000).unwrap_err();
+        assert_eq!(err.reason, KnobReason::OutOfRange { lo: 1, hi: 1000 });
+        let msg = err.to_string();
+        assert!(msg.contains("[1, 1000]") && msg.contains("`999999999`"), "got: {msg}");
+        let err = parse_usize_knob("X", Some("0"), 100, 1, 1000).unwrap_err();
+        assert_eq!(err.reason, KnobReason::OutOfRange { lo: 1, hi: 1000 });
+    }
+
+    #[test]
+    fn empty_values_are_rejected_not_defaulted() {
+        // An empty string is a set-but-broken variable, not an unset one.
+        let err = parse_usize_knob("X", Some(""), 100, 1, 1000).unwrap_err();
+        assert_eq!(err.reason, KnobReason::NotAnInteger);
+        let err = parse_usize_knob("X", Some("   "), 100, 1, 1000).unwrap_err();
+        assert_eq!(err.reason, KnobReason::NotAnInteger);
     }
 
     #[test]
     fn garbage_names_the_variable_and_value() {
         let err = parse_usize_knob("FUZZ_CASES", Some("lots"), 100, 1, 1000).unwrap_err();
+        assert_eq!(err.reason, KnobReason::NotAnInteger);
         let msg = err.to_string();
         assert!(msg.contains("FUZZ_CASES") && msg.contains("`lots`"), "got: {msg}");
+        let err = parse_usize_knob("FUZZ_CASES", Some("-3"), 100, 1, 1000).unwrap_err();
+        assert_eq!(err.reason, KnobReason::NotAnInteger);
     }
 }

@@ -23,8 +23,14 @@
 //!   hub/leader targeting, oscillating partitions, and follow-the-healer.
 //! * [`shrink`] — delta-debugging reduction of invariant-violating block
 //!   traces to minimal replayable repro files.
+//! * [`byzantine`] — Byzantine/Sybil adversary families that participate
+//!   dishonestly instead of merely blocking: Sybil join campaigns, message
+//!   forgery by corrupted members, eclipse attacks on the join path, and
+//!   chaos mixes composable with the blocking attackers above, all driven
+//!   through a budget- and lateness-enforcing harness.
 
 pub mod adaptive;
+pub mod byzantine;
 pub mod churn;
 pub mod dos;
 pub mod faults;
@@ -37,10 +43,14 @@ pub use adaptive::{
     AdaptiveHarness, AdaptiveStrategy, Attacker, FollowTheHealer, HighDegreeAttack, MinCutAttack,
     OscillatingPartition,
 };
+pub use byzantine::{
+    ByzActions, ByzAttacker, ByzBudget, ByzCampaign, ByzFamily, ByzHarness, ChaosCampaign,
+    EclipseCampaign, ForgeCampaign, Forgery, JoinRequest, SybilCampaign,
+};
 pub use churn::{ChurnEvent, ChurnSchedule, ChurnStrategy};
 pub use dos::{DosAdversary, DosStrategy};
 pub use faults::{FaultConfigError, FaultSchedule};
 pub use fuzz::{FaultPlan, FuzzLimits};
-pub use knobs::{env_usize_knob, KnobError};
+pub use knobs::{env_usize_knob, KnobError, KnobReason};
 pub use lateness::{TopologyHistory, TopologySnapshot};
 pub use shrink::{shrink_trace, AdversaryTrace, ReplayAdversary, Repro, ShrinkReport};

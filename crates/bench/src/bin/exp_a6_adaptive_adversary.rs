@@ -21,7 +21,7 @@
 
 use overlay_adversary::adaptive::{AdaptiveHarness, AdaptiveStrategy, Attacker};
 use overlay_adversary::dos::{DosAdversary, DosStrategy};
-use reconfig_bench::{write_json, ExperimentResult, Table};
+use reconfig_bench::{write_json_or_exit, ExperimentResult, RunError, Table};
 use reconfig_core::dos::{DosOverlay, DosParams};
 
 /// Same reasoning as the adaptive-adversary integration tests: `c = 1`
@@ -58,7 +58,10 @@ fn specs() -> Vec<Spec> {
         }
     }
     fn adaptive(name: &str) -> AdaptiveStrategy {
-        AdaptiveStrategy::by_name(name).expect("known strategy name")
+        AdaptiveStrategy::by_name(name).unwrap_or_else(|| {
+            RunError::new(format!("resolve strategy `{name}`"), "unknown adaptive strategy name")
+                .exit()
+        })
     }
     vec![
         Spec {
@@ -235,6 +238,6 @@ fn main() {
                 .into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

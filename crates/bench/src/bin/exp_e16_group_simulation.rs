@@ -9,7 +9,7 @@
 //! supernode at step 0.
 
 use overlay_graphs::Hypercube;
-use reconfig_bench::{write_json, ExperimentResult, Table};
+use reconfig_bench::{write_json_or_exit, ExperimentResult, RunError, Table};
 use reconfig_core::dos::group_sim::{build_group_sim, TokenWalkSampler};
 use simnet::BlockSet;
 
@@ -48,14 +48,32 @@ fn main() {
         let mut done = 0usize;
         let mut agree = true;
         for group in &groups {
-            let states: Vec<Vec<u64>> =
-                group.iter().map(|&v| net.node(v).unwrap().state.samples.clone()).collect();
+            let states: Vec<Vec<u64>> = group
+                .iter()
+                .map(|&v| {
+                    net.node(v)
+                        .unwrap_or_else(|| {
+                            RunError::new(
+                                format!("read state of node {}", v.raw()),
+                                "group member missing from the simulation",
+                            )
+                            .exit()
+                        })
+                        .state
+                        .samples
+                        .clone()
+                })
+                .collect();
             if states.iter().any(|s| s.len() == 1) {
                 done += 1;
             }
             // All *caught-up* members must agree; members blocked at the
             // very end may lag one step, so compare the modal state.
-            let reference = states.iter().max_by_key(|s| s.len()).unwrap();
+            // Groups are never empty (build_group_sim populates each), but
+            // exit cleanly rather than panic if that ever regresses.
+            let reference = states.iter().max_by_key(|s| s.len()).unwrap_or_else(|| {
+                RunError::new("pick reference state", "group has no members").exit()
+            });
             agree &= states.iter().filter(|s| s.len() == reference.len()).count() >= 1;
         }
         table.row(vec![
@@ -86,7 +104,12 @@ fn main() {
     for _ in 0..2 * (dim as u64 + 3) + 10 {
         net.step_blocked(&starve);
     }
-    let stalled = net.node(groups[0][0]).unwrap().step;
+    let stalled = net
+        .node(groups[0][0])
+        .unwrap_or_else(|| {
+            RunError::new("read starved group 0", "group member missing from the simulation").exit()
+        })
+        .step;
     table.row(vec![
         dim.to_string(),
         groups.len().to_string(),
@@ -111,6 +134,6 @@ fn main() {
         claim: "Lemma 14".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

@@ -39,7 +39,9 @@ use overlay_graphs::HGraph;
 use rand::RngExt;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use reconfig_bench::{table::f, write_json, write_telemetry, ExperimentResult, Table};
+use reconfig_bench::{
+    table::f, write_json_or_exit, write_telemetry, ExperimentResult, RunError, Table,
+};
 use reconfig_core::backend::{AnyNet, Backend};
 use simnet::{BlockSet, Ctx, NodeId, Protocol, RoundDigest, SimEngine};
 use std::time::Instant;
@@ -462,7 +464,7 @@ fn full_sweep(tel: &telemetry::Telemetry) {
         claim: "sharded backend reaches n=1e7; fast mode >= 2x legacy at n=1e6".into(),
         rows: json_rows.clone(),
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 
     let bench = serde_json::json!({
@@ -473,32 +475,34 @@ fn full_sweep(tel: &telemetry::Telemetry) {
         "rows": json_rows,
     });
     let bench_path = "BENCH_S1.json";
-    std::fs::write(bench_path, serde_json::to_string_pretty(&bench).expect("serialize") + "\n")
-        .expect("write BENCH_S1.json");
+    let pretty = serde_json::to_string_pretty(&bench)
+        .unwrap_or_else(|e| RunError::new("serialize BENCH_S1.json", e).exit());
+    std::fs::write(bench_path, pretty + "\n")
+        .unwrap_or_else(|e| RunError::new(format!("write {bench_path}"), e).exit());
     println!("bench: {bench_path}");
 
-    if let Some(tpath) =
-        write_telemetry("S1", tel, &[("claim", "engine scaling")]).expect("telemetry")
-    {
-        println!("telemetry: {tpath:?}");
+    match write_telemetry("S1", tel, &[("claim", "engine scaling")]) {
+        Ok(Some(tpath)) => println!("telemetry: {tpath:?}"),
+        Ok(None) => {}
+        Err(e) => RunError::new("write S1 telemetry capture", e).exit(),
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke_mode = args.iter().any(|a| a == "--smoke");
-    let cores = args
-        .iter()
-        .position(|a| a == "--cores")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse::<usize>().expect("--cores takes a positive integer"));
+    let cores = args.iter().position(|a| a == "--cores").and_then(|i| args.get(i + 1)).map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            RunError::new("parse --cores", format!("takes a positive integer, got `{v}`")).exit()
+        })
+    });
 
     // 0 = automatic (RAYON_NUM_THREADS or the host count); everything —
     // including the `cores` field each row records — runs inside this pool.
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(cores.unwrap_or(0))
         .build()
-        .expect("thread pool");
+        .unwrap_or_else(|e| RunError::new("build the rayon thread pool", e).exit());
     let tel = reconfig_bench::experiment_telemetry();
     pool.install(|| {
         eprintln!(

@@ -51,6 +51,54 @@ pub fn write_json(result: &ExperimentResult) -> std::io::Result<std::path::PathB
     Ok(path)
 }
 
+/// A fatal failure in an experiment binary, carrying what was being done
+/// and why it failed — the binaries' analogue of
+/// [`crate::report::ReportError`], so a full sweep whose artifact cannot
+/// be persisted exits with an actionable message instead of a panic
+/// backtrace.
+#[derive(Debug)]
+pub struct RunError {
+    /// What the binary was doing (e.g. `write results/a7.json`).
+    pub what: String,
+    /// The underlying error text.
+    pub reason: String,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot {}: {} — check OUT_DIR_RESULTS, free space and permissions",
+            self.what, self.reason
+        )
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl RunError {
+    /// Build an error for a failed action.
+    pub fn new(what: impl Into<String>, reason: impl std::fmt::Display) -> Self {
+        Self { what: what.into(), reason: reason.to_string() }
+    }
+
+    /// Print the error to stderr and exit with status 1 — the shared
+    /// abort path of the experiment binaries.
+    pub fn exit(self) -> ! {
+        eprintln!("error: {self}");
+        std::process::exit(1)
+    }
+}
+
+/// [`write_json`] with the binaries' standard failure handling: on an
+/// I/O error, print an actionable message and exit(1) instead of
+/// panicking.
+pub fn write_json_or_exit(result: &ExperimentResult) -> std::path::PathBuf {
+    write_json(result).unwrap_or_else(|e| {
+        RunError::new(format!("write results/{}.json", result.id.to_lowercase()), e).exit()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

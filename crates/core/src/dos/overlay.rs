@@ -210,6 +210,26 @@ impl DosOverlay {
         self.tel.emit(self.round, EventKind::Rejoin, Some(v.raw()), x, String::new);
     }
 
+    /// Admit a joiner through the join path. With `claimed` set the claim
+    /// is **honored** (the unvalidated join path: the joiner lands in the
+    /// group it asked for, modulo wrap-around); with `None` the joiner is
+    /// placed uniformly at random, exactly like [`Self::rejoin`]. Returns
+    /// the group the joiner landed in, or `None` for a current member
+    /// (no-op; the RNG is only drawn when an unclaimed insert happens).
+    pub fn admit(&mut self, v: NodeId, claimed: Option<u64>) -> Option<u64> {
+        use rand::RngExt;
+        if self.grouped.supernode_of(v).is_some() {
+            return None;
+        }
+        let x = match claimed {
+            Some(x) => x % self.grouped.cube().len(),
+            None => self.rng.random_range(0..self.grouped.cube().len()),
+        };
+        self.grouped.insert(v, x);
+        self.tel.emit(self.round, EventKind::Rejoin, Some(v.raw()), x, String::new);
+        Some(x)
+    }
+
     /// The group sizes as a map (diagnostics for Lemma 16 experiments).
     pub fn group_sizes(&self) -> HashMap<u64, usize> {
         self.grouped.groups().iter().enumerate().map(|(x, g)| (x as u64, g.len())).collect()

@@ -24,6 +24,7 @@
 //! harnesses report through.
 
 pub mod backend;
+pub mod byzantine;
 pub mod churndos;
 pub mod config;
 pub mod dos;

@@ -29,6 +29,15 @@ pub enum Invariant {
     /// The fraction of members that are crashed or desynchronized stays
     /// below the stale-membership bound.
     StaleBound,
+    /// Every (non-empty) group has a strict majority of honest members, so
+    /// quorum-confirmed decisions cannot be forged by Byzantine members.
+    HonestMajority,
+    /// No single supernode group concentrates more than its fair share of
+    /// Sybil identities (the Sybil concentration bound).
+    SybilConcentration,
+    /// Honest joiners are not eclipsed: each join epoch, at least one
+    /// honest joiner reached an honest introducer.
+    EclipseExposure,
 }
 
 impl Invariant {
@@ -41,16 +50,22 @@ impl Invariant {
             Invariant::Availability => "availability",
             Invariant::BlockingBudget => "blocking-budget",
             Invariant::StaleBound => "stale-bound",
+            Invariant::HonestMajority => "honest-majority",
+            Invariant::SybilConcentration => "sybil-concentration",
+            Invariant::EclipseExposure => "eclipse-exposure",
         }
     }
 
-    pub const ALL: [Invariant; 6] = [
+    pub const ALL: [Invariant; 9] = [
         Invariant::Connectivity,
         Invariant::DegreeBound,
         Invariant::GroupSizeBand,
         Invariant::Availability,
         Invariant::BlockingBudget,
         Invariant::StaleBound,
+        Invariant::HonestMajority,
+        Invariant::SybilConcentration,
+        Invariant::EclipseExposure,
     ];
 }
 
@@ -259,6 +274,17 @@ mod tests {
         assert_eq!(m.violations().len(), MAX_RECORDED);
         assert_eq!(m.count(Invariant::DegreeBound), 100);
         assert_eq!(m.total(), 100);
+    }
+
+    #[test]
+    fn byzantine_invariants_have_stable_names() {
+        // Experiment tables and fuzz reports key on these strings.
+        assert_eq!(Invariant::HonestMajority.name(), "honest-majority");
+        assert_eq!(Invariant::SybilConcentration.name(), "sybil-concentration");
+        assert_eq!(Invariant::EclipseExposure.name(), "eclipse-exposure");
+        let names: std::collections::BTreeSet<_> =
+            Invariant::ALL.iter().map(|i| i.name()).collect();
+        assert_eq!(names.len(), Invariant::ALL.len(), "names must be distinct");
     }
 
     #[test]

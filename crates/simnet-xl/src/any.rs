@@ -6,9 +6,11 @@
 use crate::{ExecMode, XlNetwork};
 use simnet::accounting::CommStats;
 use simnet::backend::SimEngine;
+use simnet::conduct::Conduct;
 use simnet::fault::{BlockSet, FaultModel};
 use simnet::trace::Trace;
 use simnet::{Network, NodeId, Protocol};
+use std::sync::Arc;
 use telemetry::Telemetry;
 
 /// Environment variable consulted by [`Backend::from_env`]: `legacy` (or
@@ -220,6 +222,14 @@ impl<P: Protocol> SimEngine<P> for AnyNet<P> {
 
     fn fault_model(&self) -> &FaultModel {
         delegate!(self, n => n.fault_model())
+    }
+
+    fn set_conduct(&mut self, conduct: Option<Arc<dyn Conduct<P::Msg>>>) {
+        delegate!(self, n => n.set_conduct(conduct))
+    }
+
+    fn conduct_counts(&self) -> (u64, u64) {
+        delegate!(self, n => n.conduct_counts())
     }
 
     fn set_telemetry(&mut self, tel: Telemetry) {

@@ -13,6 +13,7 @@ use crate::ExecMode;
 use rayon::prelude::*;
 use simnet::accounting::{CommStats, RoundWork};
 use simnet::backend::SimEngine;
+use simnet::conduct::{Conduct, SendFate};
 use simnet::fault::{delivered, BlockSet, FaultModel, LinkFate};
 use simnet::instrument::NetObserver;
 use simnet::protocol::{Ctx, Protocol};
@@ -21,6 +22,7 @@ use simnet::trace::{Trace, TraceEvent};
 use simnet::{Digest, Envelope, NodeId, Payload, RoundDigest, RunManifest};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 use telemetry::{EventKind, Phase, Telemetry};
 
 /// Sort key of a pending message: `(seq << 32) | outbox_position` for
@@ -181,6 +183,10 @@ struct Shard<P: Protocol> {
     /// Send-side totals of the last `run_round`.
     sent_bits: u64,
     sent_msgs: u64,
+    /// Conduct decisions of the last `run_round`, folded into the engine
+    /// totals serially (each shard judges only its own senders).
+    conduct_dropped: u64,
+    conduct_forged: u64,
     /// Per-round work accounting with sparse reset via `touched`.
     work_bits: Vec<u64>,
     work_msgs: Vec<u64>,
@@ -204,6 +210,8 @@ impl<P: Protocol> Shard<P> {
             fast_counts: TraceDelta::default(),
             sent_bits: 0,
             sent_msgs: 0,
+            conduct_dropped: 0,
+            conduct_forged: 0,
             work_bits: Vec::new(),
             work_msgs: Vec::new(),
             touched: Vec::new(),
@@ -234,6 +242,11 @@ impl<P: Protocol> Shard<P> {
     /// `cur_bits` is the fast-mode seq-indexed view of `blocked`; when
     /// present it replaces the per-node BTreeSet probe (parity mode passes
     /// `None` and stays bit-identical to the legacy walk).
+    ///
+    /// `conduct` judges every send before it enters the arena (parity and
+    /// fast alike). Safe under shard parallelism: the hook's contract
+    /// (`Send + Sync`, order-independent decisions) is documented in
+    /// [`simnet::conduct`].
     fn run_round(
         &mut self,
         round: u64,
@@ -241,9 +254,12 @@ impl<P: Protocol> Shard<P> {
         downs: &BlockSet,
         seq_local: &[u32],
         cur_bits: Option<&SeqBits>,
+        conduct: Option<&dyn Conduct<P::Msg>>,
     ) {
         self.sent_bits = 0;
         self.sent_msgs = 0;
+        self.conduct_dropped = 0;
+        self.conduct_forged = 0;
         let mut work = std::mem::replace(&mut self.dirty, std::mem::take(&mut self.dirty_scratch));
         work.sort_unstable();
         work.dedup();
@@ -291,7 +307,20 @@ impl<P: Protocol> Shard<P> {
             );
             self.protos[local].on_round(&mut ctx);
             self.inboxes[local].clear();
-            for (pos, env) in outbox.drain(..).enumerate() {
+            for (pos, mut env) in outbox.drain(..).enumerate() {
+                if let Some(judge) = conduct {
+                    match judge.judge(env.from, env.to, round, pos as u64, &env.msg) {
+                        SendFate::Deliver => {}
+                        SendFate::Drop => {
+                            self.conduct_dropped += 1;
+                            continue;
+                        }
+                        SendFate::Replace(forged) => {
+                            self.conduct_forged += 1;
+                            env.msg = forged;
+                        }
+                    }
+                }
                 let bits = env.msg.size_bits();
                 self.charge(local, bits);
                 self.sent_bits += bits;
@@ -430,6 +459,11 @@ pub struct XlNetwork<P: Protocol> {
     scratch_delayed: Vec<(u64, Envelope<P::Msg>)>,
     prev_blocked: BlockSet,
     faults: FaultModel,
+    /// Send-path interception policy (see [`simnet::conduct`]), judged
+    /// inside the parallel shard walk; `None` is the honest default.
+    conduct: Option<Arc<dyn Conduct<P::Msg>>>,
+    conduct_dropped: u64,
+    conduct_forged: u64,
     stats: CommStats,
     trace: Trace,
     obs: NetObserver,
@@ -474,6 +508,9 @@ impl<P: Protocol> XlNetwork<P> {
             scratch_delayed: Vec::new(),
             prev_blocked: BlockSet::none(),
             faults: FaultModel::null(),
+            conduct: None,
+            conduct_dropped: 0,
+            conduct_forged: 0,
             stats: CommStats::new(),
             trace: Trace::counters_only(),
             obs: NetObserver::disabled(),
@@ -526,6 +563,20 @@ impl<P: Protocol> XlNetwork<P> {
     /// The installed fault model.
     pub fn fault_model(&self) -> &FaultModel {
         &self.faults
+    }
+
+    /// Install (or with `None`, remove) a send-path [`Conduct`] policy —
+    /// same semantics as [`simnet::Network::set_conduct`], in both parity
+    /// and fast modes. Not checkpointed; re-install after a resume.
+    pub fn set_conduct(&mut self, conduct: Option<Arc<dyn Conduct<P::Msg>>>) {
+        self.conduct = conduct;
+    }
+
+    /// Totals of messages `(dropped, forged)` by the installed conduct so
+    /// far. Identical across backends and shard counts for identically
+    /// driven runs (the hook's decisions are order-independent).
+    pub fn conduct_counts(&self) -> (u64, u64) {
+        (self.conduct_dropped, self.conduct_forged)
     }
 
     /// The master seed this network was created with.
@@ -726,14 +777,15 @@ impl<P: Protocol> XlNetwork<P> {
                 ExecMode::Fast => Some(&self.cur_bits),
                 ExecMode::Parity => None,
             };
+            let conduct = self.conduct.as_deref();
             let parallel = self.n_shards > 1 && self.idmap.len() >= simnet::PAR_THRESHOLD;
             if parallel {
-                self.shards
-                    .par_iter_mut()
-                    .for_each(|sh| sh.run_round(round, blocked, &downs, seq_local, cur_bits));
+                self.shards.par_iter_mut().for_each(|sh| {
+                    sh.run_round(round, blocked, &downs, seq_local, cur_bits, conduct)
+                });
             } else {
                 for sh in &mut self.shards {
-                    sh.run_round(round, blocked, &downs, seq_local, cur_bits);
+                    sh.run_round(round, blocked, &downs, seq_local, cur_bits, conduct);
                 }
             }
         }
@@ -744,6 +796,8 @@ impl<P: Protocol> XlNetwork<P> {
             for sh in &self.shards {
                 sent_bits += sh.sent_bits;
                 sent_msgs += sh.sent_msgs;
+                self.conduct_dropped += sh.conduct_dropped;
+                self.conduct_forged += sh.conduct_forged;
             }
         }
 
@@ -1136,6 +1190,14 @@ impl<P: Protocol> SimEngine<P> for XlNetwork<P> {
 
     fn fault_model(&self) -> &FaultModel {
         XlNetwork::fault_model(self)
+    }
+
+    fn set_conduct(&mut self, conduct: Option<Arc<dyn Conduct<P::Msg>>>) {
+        XlNetwork::set_conduct(self, conduct);
+    }
+
+    fn conduct_counts(&self) -> (u64, u64) {
+        XlNetwork::conduct_counts(self)
     }
 
     fn set_telemetry(&mut self, tel: Telemetry) {
@@ -1915,6 +1977,101 @@ mod tests {
         let Value::Object(top) = &mut old else { panic!("object") };
         top.remove("exec_mode");
         assert!(XlNetwork::<Gossip>::from_state(&old).is_ok());
+    }
+
+    // -- conduct ------------------------------------------------------------
+
+    use simnet::conduct::{ByzantineConduct, PPM};
+
+    fn byz_conduct(seed: u64) -> Arc<ByzantineConduct<u64>> {
+        Arc::new(
+            ByzantineConduct::new(seed, [NodeId(2), NodeId(7), NodeId(14)])
+                .dropping(PPM / 3)
+                .forging(PPM / 4, |m| m ^ 0xDEAD_BEEF),
+        )
+    }
+
+    #[test]
+    fn conduct_digest_parity_with_legacy() {
+        // The full stress schedule (churn, DoS blocks, injections) with a
+        // dropping+forging conduct installed: the sharded engine must
+        // replay the legacy digest stream bit-for-bit at every shard
+        // count, and judge the identical number of sends.
+        let mut legacy = Network::<Gossip>::new(0xB12A);
+        legacy.set_conduct(Some(byz_conduct(9)));
+        let expected = scenario(&mut legacy);
+        let expected_counts = legacy.conduct_counts();
+        assert!(expected_counts.0 > 0, "schedule must exercise drops");
+        assert!(expected_counts.1 > 0, "schedule must exercise forgeries");
+        for shards in [1, 3, 8] {
+            let mut xl = XlNetwork::<Gossip>::with_shards(0xB12A, shards);
+            xl.set_conduct(Some(byz_conduct(9)));
+            let got = scenario(&mut xl);
+            assert_eq!(got, expected, "shards={shards}");
+            assert_eq!(xl.conduct_counts(), expected_counts, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn conduct_fast_mode_equals_parity_for_order_insensitive_protocols() {
+        // Conduct decisions are order-independent by contract, so on an
+        // order-insensitive protocol even fast mode agrees exactly with
+        // parity — at every shard count.
+        let run = |mode: ExecMode, shards: usize| {
+            let mut net = XlNetwork::<RingSum>::with_shards_mode(0x5EED, shards, mode);
+            net.set_conduct(Some(Arc::new(
+                ByzantineConduct::new(11, [NodeId(4), NodeId(9)])
+                    .dropping(PPM / 2)
+                    .forging(PPM / 4, |m: &u64| m.wrapping_add(17)),
+            )));
+            let n = 20u64;
+            for i in 0..n {
+                net.add_node(NodeId(i), RingSum { next: NodeId((i + 1) % n), acc: i, left: 18 });
+            }
+            net.enable_digests();
+            for r in 0..24u64 {
+                if r == 7 {
+                    net.remove_node(NodeId(13));
+                }
+                let blocked = BlockSet::from_iter((0..n).filter(|i| (i + r) % 5 == 0).map(NodeId));
+                net.step_blocked(&blocked);
+            }
+            (net.trace().digests().to_vec(), net.conduct_counts())
+        };
+        let parity = run(ExecMode::Parity, 3);
+        assert!(parity.1 .0 > 0 && parity.1 .1 > 0, "conduct must fire");
+        for shards in [1, 2, 7, 16] {
+            assert_eq!(run(ExecMode::Fast, shards), parity, "fast shards={shards}");
+            assert_eq!(run(ExecMode::Parity, shards), parity, "parity shards={shards}");
+        }
+    }
+
+    #[test]
+    fn conduct_resume_with_reinstall_continues_byzantine_run() {
+        // Conduct is not checkpointed; re-installing it on the restored
+        // engine continues the uninterrupted digest stream.
+        let mut reference = XlNetwork::<Gossip>::with_shards(0xAB1E, 4);
+        reference.set_conduct(Some(byz_conduct(13)));
+        let n = 16u64;
+        for i in 0..n {
+            reference.add_node(NodeId(i), node(i, n, 30));
+        }
+        reference.enable_digests();
+        reference.run(18);
+        let want = reference.trace().digests().to_vec();
+
+        let mut first = XlNetwork::<Gossip>::with_shards(0xAB1E, 4);
+        first.set_conduct(Some(byz_conduct(13)));
+        for i in 0..n {
+            first.add_node(NodeId(i), node(i, n, 30));
+        }
+        first.run(9);
+        let snap = first.save_state();
+        let mut resumed = XlNetwork::<Gossip>::from_state_with_shards(&snap, 2).unwrap();
+        resumed.set_conduct(Some(byz_conduct(13)));
+        resumed.enable_digests();
+        resumed.run(9);
+        assert_eq!(resumed.trace().digests(), &want[9..]);
     }
 
     #[test]

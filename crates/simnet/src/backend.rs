@@ -15,10 +15,12 @@
 //! are all control-plane code where the allocation is irrelevant.
 
 use crate::accounting::CommStats;
+use crate::conduct::Conduct;
 use crate::fault::{BlockSet, FaultModel};
 use crate::protocol::Protocol;
 use crate::trace::Trace;
 use crate::{Network, NodeId};
+use std::sync::Arc;
 use telemetry::Telemetry;
 
 /// A synchronous-round simulation engine executing protocol `P`.
@@ -82,6 +84,14 @@ pub trait SimEngine<P: Protocol> {
 
     /// The installed fault model.
     fn fault_model(&self) -> &FaultModel;
+
+    /// Install (or with `None`, remove) a send-path [`Conduct`] policy
+    /// (see [`Network::set_conduct`]). Conduct is configuration, not
+    /// state: resumed runs must re-install it.
+    fn set_conduct(&mut self, conduct: Option<Arc<dyn Conduct<P::Msg>>>);
+
+    /// Totals of messages `(dropped, forged)` by the installed conduct.
+    fn conduct_counts(&self) -> (u64, u64);
 
     /// Attach a telemetry recorder (see [`Network::set_telemetry`]).
     fn set_telemetry(&mut self, tel: Telemetry);
@@ -160,6 +170,14 @@ impl<P: Protocol> SimEngine<P> for Network<P> {
 
     fn fault_model(&self) -> &FaultModel {
         Network::fault_model(self)
+    }
+
+    fn set_conduct(&mut self, conduct: Option<Arc<dyn Conduct<P::Msg>>>) {
+        Network::set_conduct(self, conduct);
+    }
+
+    fn conduct_counts(&self) -> (u64, u64) {
+        Network::conduct_counts(self)
     }
 
     fn set_telemetry(&mut self, tel: Telemetry) {

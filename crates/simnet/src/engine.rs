@@ -1,6 +1,7 @@
 //! The synchronous round engine.
 
 use crate::accounting::{CommStats, WorkAccumulator};
+use crate::conduct::{Conduct, SendFate};
 use crate::digest::{Digest, RoundDigest, RunManifest};
 use crate::fault::{delivered, BlockSet, FaultModel, LinkFate};
 use crate::instrument::NetObserver;
@@ -11,6 +12,7 @@ use crate::trace::{Trace, TraceEvent};
 use crate::NodeId;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 use telemetry::{EventKind, Phase, Telemetry};
 
 /// Below this many nodes a round is stepped serially; rayon overhead only
@@ -68,6 +70,12 @@ pub struct Network<P: Protocol> {
     scratch_delayed: Vec<(u64, Envelope<P::Msg>)>,
     prev_blocked: BlockSet,
     faults: FaultModel,
+    /// Send-path interception policy (see [`crate::conduct`]); `None` is
+    /// the honest default and costs one branch per round.
+    conduct: Option<Arc<dyn Conduct<P::Msg>>>,
+    /// Messages suppressed / forged by the installed conduct, total.
+    conduct_dropped: u64,
+    conduct_forged: u64,
     acc: WorkAccumulator,
     stats: CommStats,
     trace: Trace,
@@ -92,6 +100,9 @@ impl<P: Protocol> Network<P> {
             scratch_delayed: Vec::new(),
             prev_blocked: BlockSet::none(),
             faults: FaultModel::null(),
+            conduct: None,
+            conduct_dropped: 0,
+            conduct_forged: 0,
             acc: WorkAccumulator::default(),
             stats: CommStats::new(),
             trace: Trace::counters_only(),
@@ -150,6 +161,25 @@ impl<P: Protocol> Network<P> {
     /// The installed fault model.
     pub fn fault_model(&self) -> &FaultModel {
         &self.faults
+    }
+
+    /// Install (or with `None`, remove) a send-path [`Conduct`] policy.
+    /// Every subsequent protocol send is judged by it at collection time;
+    /// see [`crate::conduct`] for the determinism contract.
+    ///
+    /// Conduct is configuration, not state: it is **not checkpointed**.
+    /// A run resumed via [`Self::from_state`] must re-install the same
+    /// conduct to continue the original behavior — doing so reproduces the
+    /// uninterrupted digest stream exactly, because conduct decisions hash
+    /// the absolute round counter, not elapsed time since installation.
+    pub fn set_conduct(&mut self, conduct: Option<Arc<dyn Conduct<P::Msg>>>) {
+        self.conduct = conduct;
+    }
+
+    /// Totals of messages `(dropped, forged)` by the installed conduct so
+    /// far. Identical across backends for identically driven runs.
+    pub fn conduct_counts(&self) -> (u64, u64) {
+        (self.conduct_dropped, self.conduct_forged)
     }
 
     /// Override how rounds choose between serial and parallel stepping.
@@ -428,13 +458,29 @@ impl<P: Protocol> Network<P> {
             }
         }
 
-        // Collect outboxes; charge senders.
+        // Collect outboxes; charge senders. Each message first passes the
+        // installed conduct (if any): suppressed sends are uncharged and
+        // never enter flight, forged ones are charged at the forged size.
         let (mut sent_bits, mut sent_msgs) = (0u64, 0u64);
         {
             let _send = self.obs.telemetry().phase(Phase::Send);
+            let conduct = self.conduct.clone();
             for (idx, slot) in self.slots.iter_mut().enumerate() {
                 let Some(slot) = slot else { continue };
-                for env in slot.outbox.drain(..) {
+                for (pos, mut env) in slot.outbox.drain(..).enumerate() {
+                    if let Some(judge) = conduct.as_deref() {
+                        match judge.judge(env.from, env.to, round, pos as u64, &env.msg) {
+                            SendFate::Deliver => {}
+                            SendFate::Drop => {
+                                self.conduct_dropped += 1;
+                                continue;
+                            }
+                            SendFate::Replace(forged) => {
+                                self.conduct_forged += 1;
+                                env.msg = forged;
+                            }
+                        }
+                    }
                     let bits = env.msg.size_bits();
                     self.acc.charge(idx, bits);
                     sent_bits += bits;
@@ -687,6 +733,9 @@ where
             scratch_delayed: Vec::new(),
             prev_blocked: BlockSet::load(field(v, "prev_blocked")?)?,
             faults: FaultModel::load(field(v, "faults")?)?,
+            conduct: None,
+            conduct_dropped: 0,
+            conduct_forged: 0,
             acc: WorkAccumulator::default(),
             stats: CommStats::new(),
             trace: Trace::counters_only(),
@@ -1283,6 +1332,116 @@ mod tests {
         assert_eq!(resumed.round(), 4);
         assert_eq!(resumed.round_digest(), net.round_digest());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    // -- conduct ------------------------------------------------------------
+
+    use crate::conduct::{ByzantineConduct, PPM};
+
+    #[test]
+    fn conduct_drop_silences_a_byzantine_sender() {
+        let mut net = ring(4, 70);
+        net.set_conduct(Some(Arc::new(ByzantineConduct::new(1, [NodeId(1)]).dropping(PPM))));
+        net.run(8);
+        // Token: 0 fires (honest), 1 receives, then 1's forward is eaten.
+        assert_eq!(net.node(NodeId(1)).unwrap().received, 1);
+        assert_eq!(net.node(NodeId(2)).unwrap().received, 0);
+        let (dropped, forged) = net.conduct_counts();
+        assert_eq!(dropped, 1);
+        assert_eq!(forged, 0);
+    }
+
+    #[test]
+    fn conduct_forge_rewrites_payloads_in_place() {
+        let mut net = ring(3, 71);
+        net.set_conduct(Some(Arc::new(
+            ByzantineConduct::new(2, [NodeId(0)]).forging(PPM, |m| m + 1000),
+        )));
+        net.run(2); // round 0: node 0 fires a forged token; round 1: node 1 forwards it +1
+        net.run(1); // round 2: node 2 receives 1001 + 1
+        assert_eq!(net.node(NodeId(2)).unwrap().received, 1);
+        let (_, forged) = net.conduct_counts();
+        assert_eq!(forged, 1);
+        // Node 1 forwarded msg+1 of the forged 1000-token.
+        net.set_conduct(None);
+        net.run(1);
+        assert_eq!(net.node(NodeId(0)).unwrap().received, 1);
+    }
+
+    #[test]
+    fn suppressed_sends_are_not_charged() {
+        let run = |drop_all: bool| {
+            let mut net = ring(4, 72);
+            if drop_all {
+                let everyone: Vec<NodeId> = (0..4).map(NodeId).collect();
+                net.set_conduct(Some(Arc::new(ByzantineConduct::new(3, everyone).dropping(PPM))));
+            }
+            net.run(6);
+            (net.stats().total_bits(), net.stats().total_msgs())
+        };
+        let (honest_bits, honest_msgs) = run(false);
+        assert!(honest_msgs > 0);
+        assert_eq!(run(true), (0, 0), "fully suppressed traffic must cost nothing");
+        assert!(honest_bits > 0);
+    }
+
+    #[test]
+    fn conduct_free_run_digests_match_no_conduct() {
+        // An installed conduct whose Byzantine set is empty must be
+        // behaviorally invisible, digests included.
+        let run = |install: bool| {
+            let mut net = ring(8, 73);
+            if install {
+                net.set_conduct(Some(Arc::new(ByzantineConduct::new(4, []).dropping(PPM))));
+            }
+            net.enable_digests();
+            net.run(10);
+            net.trace().digests().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn conduct_runs_replay_identically() {
+        let run_once = || {
+            let mut net = ring(8, 74);
+            net.set_conduct(Some(Arc::new(
+                ByzantineConduct::new(5, [NodeId(2), NodeId(5)])
+                    .dropping(PPM / 3)
+                    .forging(PPM / 3, |m| m ^ 0xBEEF),
+            )));
+            net.enable_digests();
+            net.run(16);
+            (net.trace().digests().to_vec(), net.conduct_counts())
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn checkpoint_resume_with_reinstalled_conduct_continues_stream() {
+        let conduct = || {
+            Arc::new(
+                ByzantineConduct::new(6, [NodeId(1), NodeId(3)])
+                    .dropping(PPM / 2)
+                    .forging(PPM / 4, |m| m + 7),
+            )
+        };
+        let mut reference = ring(6, 75);
+        reference.set_conduct(Some(conduct()));
+        reference.enable_digests();
+        reference.run(14);
+        let want = reference.trace().digests().to_vec();
+
+        let mut first = ring(6, 75);
+        first.set_conduct(Some(conduct()));
+        first.enable_digests();
+        first.run(7);
+        let snapshot = first.save_state();
+        let mut resumed = Network::<Relay>::from_state(&snapshot).unwrap();
+        // Conduct is config, not state: the caller re-installs it.
+        resumed.set_conduct(Some(conduct()));
+        resumed.run(7);
+        assert_eq!(resumed.trace().digests().to_vec(), want[7..]);
     }
 
     // -- telemetry ----------------------------------------------------------

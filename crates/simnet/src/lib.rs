@@ -66,6 +66,7 @@
 pub mod accounting;
 pub mod backend;
 pub mod checkpoint;
+pub mod conduct;
 pub mod digest;
 pub mod engine;
 pub mod fault;
@@ -80,6 +81,7 @@ pub mod trace;
 pub use accounting::{CommStats, RoundWork};
 pub use backend::SimEngine;
 pub use checkpoint::{Checkpoint, Checkpointer, CkptError, CkptResult};
+pub use conduct::{ByzantineConduct, Conduct, SendFate};
 pub use digest::{Digest, RoundDigest, RunManifest};
 pub use engine::{Network, ParMode, PAR_THRESHOLD};
 pub use fault::{BlockSet, FaultModel, LinkFate, LinkFaults, NodeFault, Partition};

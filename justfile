@@ -49,6 +49,15 @@ checkpoint:
 a6 *flags="":
     cargo run --release -p reconfig-bench --bin exp_a6_adaptive_adversary -- {{flags}}
 
+# A7 Byzantine survival x defense matrix; `just a7 --smoke` for the PR gate.
+a7 *flags="":
+    cargo run --release -p reconfig-bench --bin exp_a7_byzantine -- {{flags}}
+
+# Byzantine-campaign fuzzing against the full defense stack;
+# `just byzfuzz 200` for the nightly depth.
+byzfuzz cases="40":
+    BYZ_CASES={{cases}} cargo test -q -p integration-tests --test byz_fuzz
+
 # Engine-scaling benchmark (legacy vs simnet-xl, parity and fast modes);
 # `just s1 --smoke --cores 4` for the CI mode x shard gate at n=5e4, bare
 # `just s1 --cores 4` for the full shards x cores x mode sweep to n=1e7

@@ -49,6 +49,12 @@ FUZZ_CASES="${FUZZ_CASES:-100}" cargo test -q -p integration-tests --test shrink
 echo "==> adaptive-adversary boundary (A6 smoke sweep)"
 cargo run -q --release -p reconfig-bench --bin exp_a6_adaptive_adversary -- --smoke
 
+echo "==> Byzantine survival x defense matrix (A7 smoke sweep)"
+cargo run -q --release -p reconfig-bench --bin exp_a7_byzantine -- --smoke
+
+echo "==> Byzantine-campaign fuzzing (BYZ_CASES=${BYZ_CASES:-40})"
+BYZ_CASES="${BYZ_CASES:-40}" cargo test -q -p integration-tests --test byz_fuzz
+
 echo "==> s1-smoke: mode x shard matrix at n=5e4 (parity 1/4 vs legacy, fast 4 reproducible)"
 cargo run -q --release -p reconfig-bench --bin exp_s1_scale -- --smoke --cores 4
 

@@ -381,6 +381,95 @@ fn per_round_event_counts_are_statistically_equivalent_under_fast() {
 }
 
 // ---------------------------------------------------------------------------
+// Byzantine family: the Conduct hook under fast mode
+// ---------------------------------------------------------------------------
+
+/// The `Mixer` sweep with a Byzantine [`simnet::ByzantineConduct`]
+/// installed: every eighth node drops a quarter and forges another quarter
+/// of its sends. `conduct_roll` keys each judgement on
+/// `(seed, from, to, round, pos)` — none of which depend on delivery
+/// order — so the *judgements* are identical across modes, and the
+/// per-round delivery series must stay statistically equivalent.
+fn byz_round_series(mode: ExecMode, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    const N: u64 = 96;
+    const ROUNDS: usize = 24;
+    const PPM_QUARTER: u32 = 250_000;
+    let mut net: XlNetwork<Mixer> = XlNetwork::with_shards_mode(seed, 4, mode);
+    net.set_fault_model(FaultModel::new(seed ^ 0xF017).with_link(LinkFaults {
+        drop_prob: 0.05,
+        dup_prob: 0.03,
+        delay_prob: 0.05,
+        max_delay: 3,
+    }));
+    for i in 0..N {
+        net.add_node(NodeId(i), Mixer { n: N, acc: i });
+    }
+    let byz = (0..N).filter(|i| i % 8 == 0).map(NodeId);
+    net.set_conduct(Some(std::sync::Arc::new(
+        simnet::ByzantineConduct::new(seed ^ 0xB12, byz)
+            .dropping(PPM_QUARTER)
+            .forging(PPM_QUARTER, |m: &u64| m ^ 0xDEAD),
+    )));
+    let (mut delivered, mut judged) = (Vec::with_capacity(ROUNDS), Vec::with_capacity(ROUNDS));
+    let (mut last_del, mut last_judged) = (0u64, 0u64);
+    for _ in 0..ROUNDS {
+        net.step_blocked(&BlockSet::none());
+        let (dropped, forged) = net.conduct_counts();
+        delivered.push(net.trace().delivered - last_del);
+        judged.push(dropped + forged - last_judged);
+        last_del = net.trace().delivered;
+        last_judged = dropped + forged;
+    }
+    (delivered, judged)
+}
+
+#[test]
+fn byzantine_conduct_is_statistically_equivalent_under_fast() {
+    let (mut pdel, mut fdel) = (Vec::new(), Vec::new());
+    for seed in replicate_seeds() {
+        let (d, pj) = byz_round_series(ExecMode::Parity, seed);
+        pdel.push(d);
+        let (d, fj) = byz_round_series(ExecMode::Fast, seed);
+        fdel.push(d);
+        // The conduct judgement stream is order-invariant by construction:
+        // exactly the same sends are dropped/forged in both modes.
+        assert_eq!(pj, fj, "conduct judgements diverged across modes at seed {seed}");
+    }
+    let mut h = harness();
+    h.compare_round_counts(
+        "engine/byz-delivered-per-round",
+        &overlay_stats::pool_counts(&pdel),
+        &overlay_stats::pool_counts(&fdel),
+    );
+    h.finish().assert_ok();
+}
+
+#[test]
+fn byzantine_fast_runs_are_reproducible_per_seed_and_shards() {
+    for shards in SHARD_COUNTS {
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                let mut net: XlNetwork<Mixer> =
+                    XlNetwork::with_shards_mode(0xB12AC7, shards, ExecMode::Fast);
+                for i in 0..64 {
+                    net.add_node(NodeId(i), Mixer { n: 64, acc: i });
+                }
+                net.set_conduct(Some(std::sync::Arc::new(
+                    simnet::ByzantineConduct::new(0xB12, (0..64).step_by(8).map(NodeId))
+                        .dropping(250_000)
+                        .forging(250_000, |m: &u64| m ^ 0xDEAD),
+                )));
+                for _ in 0..16 {
+                    net.step_blocked(&BlockSet::none());
+                }
+                (net.round_digest(), net.conduct_counts())
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "fast Byzantine run not a function of (seed, {shards})");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fuzzed fault plans: fast preserves the invariants parity satisfies
 // ---------------------------------------------------------------------------
 

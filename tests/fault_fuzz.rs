@@ -28,7 +28,7 @@ use simnet::{BlockSet, Ctx, Network, NodeId, Protocol, TraceEvent};
 use std::collections::HashMap;
 
 /// Schedules per overlay family; `FUZZ_CASES` overrides the default 100
-/// (validated and clamped into [1, 100_000] — garbage aborts with a
+/// (validated against [1, 100_000] — garbage or out-of-range values abort with a
 /// message naming the variable instead of silently falling back).
 fn fuzz_cases() -> u64 {
     overlay_adversary::knobs::env_usize_knob("FUZZ_CASES", 100, 1, 100_000)

@@ -28,7 +28,7 @@ use reconfig_core::dos::{DosOverlay, DosParams};
 use simnet::{BlockSet, NodeId};
 
 /// Cases per regime; `FUZZ_CASES` overrides the default 100 (validated
-/// and clamped into [1, 100_000] as everywhere else).
+/// against [1, 100_000] as everywhere else; out-of-range values abort).
 fn fuzz_cases() -> u64 {
     overlay_adversary::knobs::env_usize_knob("FUZZ_CASES", 100, 1, 100_000)
         .unwrap_or_else(|e| panic!("{e}")) as u64
