@@ -94,6 +94,40 @@ pub fn env_usize_knob(
     parse_usize_knob(name, raw.as_deref(), default, lo, hi)
 }
 
+/// [`parse_usize_knob`] for `u64`-typed knobs (round counts, hysteresis
+/// windows). Bands are expressed in `usize` — every documented band fits
+/// comfortably — so the error type stays uniform.
+pub fn parse_u64_knob(
+    name: &str,
+    raw: Option<&str>,
+    default: u64,
+    lo: u64,
+    hi: u64,
+) -> Result<u64, KnobError> {
+    match raw {
+        None => Ok(default),
+        Some(text) => match text.trim().parse::<u64>() {
+            Ok(v) if (lo..=hi).contains(&v) => Ok(v),
+            Ok(_) => Err(KnobError {
+                name: name.to_string(),
+                value: text.to_string(),
+                reason: KnobReason::OutOfRange { lo: lo as usize, hi: hi as usize },
+            }),
+            Err(_) => Err(KnobError {
+                name: name.to_string(),
+                value: text.to_string(),
+                reason: KnobReason::NotAnInteger,
+            }),
+        },
+    }
+}
+
+/// Read `name` from the environment via [`parse_u64_knob`].
+pub fn env_u64_knob(name: &str, default: u64, lo: u64, hi: u64) -> Result<u64, KnobError> {
+    let raw = std::env::var(name).ok();
+    parse_u64_knob(name, raw.as_deref(), default, lo, hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +173,20 @@ mod tests {
         assert!(msg.contains("FUZZ_CASES") && msg.contains("`lots`"), "got: {msg}");
         let err = parse_usize_knob("FUZZ_CASES", Some("-3"), 100, 1, 1000).unwrap_err();
         assert_eq!(err.reason, KnobReason::NotAnInteger);
+    }
+
+    #[test]
+    fn u64_knob_mirrors_usize_semantics() {
+        assert_eq!(parse_u64_knob("R", None, 8, 1, 100_000), Ok(8));
+        assert_eq!(parse_u64_knob("R", Some("42"), 8, 1, 100_000), Ok(42));
+        // Boundaries included, rejections named.
+        assert_eq!(parse_u64_knob("R", Some("1"), 8, 1, 100_000), Ok(1));
+        assert_eq!(parse_u64_knob("R", Some("100000"), 8, 1, 100_000), Ok(100_000));
+        let err = parse_u64_knob("R", Some("0"), 8, 1, 100_000).unwrap_err();
+        assert_eq!(err.reason, KnobReason::OutOfRange { lo: 1, hi: 100_000 });
+        let err = parse_u64_knob("R", Some(""), 8, 1, 100_000).unwrap_err();
+        assert_eq!(err.reason, KnobReason::NotAnInteger);
+        let err = parse_u64_knob("RECOVERY_HYSTERESIS", Some("ten"), 8, 1, 100_000).unwrap_err();
+        assert!(err.to_string().contains("RECOVERY_HYSTERESIS"));
     }
 }

@@ -23,6 +23,9 @@
 //!   hub/leader targeting, oscillating partitions, and follow-the-healer.
 //! * [`shrink`] — delta-debugging reduction of invariant-violating block
 //!   traces to minimal replayable repro files.
+//! * [`catastrophe`] — beyond-budget correlated-fault campaigns (mass
+//!   crash bursts, rejoin storms, timed partitions) composed with the
+//!   blocking attackers, with two-axis shrinkable repro traces.
 //! * [`byzantine`] — Byzantine/Sybil adversary families that participate
 //!   dishonestly instead of merely blocking: Sybil join campaigns, message
 //!   forgery by corrupted members, eclipse attacks on the join path, and
@@ -31,6 +34,7 @@
 
 pub mod adaptive;
 pub mod byzantine;
+pub mod catastrophe;
 pub mod churn;
 pub mod dos;
 pub mod faults;
@@ -47,10 +51,13 @@ pub use byzantine::{
     ByzActions, ByzAttacker, ByzBudget, ByzCampaign, ByzFamily, ByzHarness, ChaosCampaign,
     EclipseCampaign, ForgeCampaign, Forgery, JoinRequest, SybilCampaign,
 };
+pub use catastrophe::{
+    shrink_catastrophe, CatastropheCampaign, CatastropheRepro, CatastropheSpec, CatastropheTrace,
+};
 pub use churn::{ChurnEvent, ChurnSchedule, ChurnStrategy};
 pub use dos::{DosAdversary, DosStrategy};
 pub use faults::{FaultConfigError, FaultSchedule};
 pub use fuzz::{FaultPlan, FuzzLimits};
-pub use knobs::{env_usize_knob, KnobError, KnobReason};
+pub use knobs::{env_u64_knob, env_usize_knob, KnobError, KnobReason};
 pub use lateness::{TopologyHistory, TopologySnapshot};
 pub use shrink::{shrink_trace, AdversaryTrace, ReplayAdversary, Repro, ShrinkReport};

@@ -15,7 +15,7 @@ use overlay_stats::{fit_log, fit_loglog};
 use rand::RngExt;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use reconfig_bench::{table::f, write_json, ExperimentResult, Table};
+use reconfig_bench::{table::f, write_json_or_exit, ExperimentResult, Table};
 use reconfig_core::config::SamplingParams;
 use reconfig_core::reconfig::{run_epoch, BridgeMode, EpochInput};
 use simnet::NodeId;
@@ -90,6 +90,6 @@ fn main() {
         claim: "Section 1.2: routing/sorting cannot beat o(log n / log log n)".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

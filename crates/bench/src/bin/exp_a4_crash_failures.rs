@@ -12,7 +12,7 @@
 //! ghost-epochs as patience grows, and most wrongly evicted nodes are
 //! isolated when the adversary targets their contacts.
 
-use reconfig_bench::{write_json, ExperimentResult, Table};
+use reconfig_bench::{write_json_or_exit, ExperimentResult, Table};
 use reconfig_core::churndos::{CrashScenario, CrashVisibility};
 use simnet::NodeId;
 use std::collections::HashSet;
@@ -105,6 +105,6 @@ fn main() {
         claim: "Section 6 closing discussion".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

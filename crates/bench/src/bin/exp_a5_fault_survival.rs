@@ -17,7 +17,9 @@
 
 use overlay_adversary::dos::{DosAdversary, DosStrategy};
 use overlay_adversary::faults::FaultSchedule;
-use reconfig_bench::{experiment_telemetry, write_json, write_telemetry, ExperimentResult, Table};
+use reconfig_bench::{
+    experiment_telemetry, write_json_or_exit, write_telemetry_or_exit, ExperimentResult, Table,
+};
 use reconfig_core::dos::{DosOverlay, DosParams};
 use reconfig_core::healing::{FaultyRunner, HealingParams};
 use reconfig_core::monitor::Invariant;
@@ -137,10 +139,9 @@ fn main() {
         claim: "Beyond-model extension (Section 7 outlook)".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
-    if let Some(tpath) =
-        write_telemetry("A5", &tel, &[("claim", "beyond-model extension")]).expect("telemetry")
+    if let Some(tpath) = write_telemetry_or_exit("A5", &tel, &[("claim", "beyond-model extension")])
     {
         println!("telemetry: {}", tpath.display());
     }

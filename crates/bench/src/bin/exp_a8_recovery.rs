@@ -1,0 +1,339 @@
+//! A8 — catastrophic-failure time-to-recover.
+//!
+//! Injects beyond-budget correlated bursts (whole supernode groups crash
+//! at once, then flood back inside a storm window) and finite-duration
+//! partitions, with an ambient within-budget blocking adversary running
+//! throughout, and measures *time-to-recover*: rounds from the
+//! catastrophe until every monitor invariant has held for `G`
+//! consecutive rounds (`G` = the recovery layer's exit hysteresis).
+//! Every cell runs twice on the same seed — with the recovery protocol
+//! (mode machine, SafeMode shedding + widened heartbeats, token-bucket
+//! storm admission with backoff/retry, partition-heal reconciliation)
+//! and without (the control: same bursts, same join capacity, but a
+//! rejoiner rejected at the capacity is permanently orphaned).
+//!
+//! The join path has a per-round capacity shared by both arms (DESIGN.md
+//! §12); A8 runs it tight (`join_capacity = 1`, a single stressed
+//! introducer) so the storm peak actually overflows it. Expected shape:
+//! short storms (returns inside the heartbeat timeout) recover in both
+//! arms; once the storm outlives the eviction timeout, the control
+//! orphans the overflow and never returns to size, while the recovery
+//! arm keeps victims on the membership (widened heartbeats) or retries
+//! them through the admission gate until everyone is back and the
+//! monitor is green for `G` straight rounds.
+
+use overlay_adversary::adaptive::Attacker;
+use overlay_adversary::catastrophe::{CatastropheCampaign, CatastropheSpec};
+use overlay_adversary::faults::FaultSchedule;
+use overlay_adversary::{DosAdversary, DosStrategy};
+use reconfig_bench::{write_json_or_exit, ExperimentResult, RunError, Table};
+use reconfig_core::dos::{DosOverlay, DosParams};
+use reconfig_core::healing::{FaultyRunner, HealableOverlay, HealingParams};
+use reconfig_core::monitor::Invariant;
+use reconfig_core::recovery::{RecoveryParams, RecoveryRunner};
+use simnet::{Burst, BurstTarget, TimedPartition};
+
+/// Same small-group regime as A6/A7 (`c = 1`): group-targeted bursts
+/// empty whole groups instead of denting big ones.
+fn params() -> DosParams {
+    DosParams { group_c: 1.0, ..DosParams::default() }
+}
+
+/// Ambient blocking pressure present in every cell (well within budget).
+const AMBIENT_BOUND: f64 = 0.10;
+
+/// The invariants that count as survival failures for A8.
+const SURVIVAL: [Invariant; 4] = [
+    Invariant::Connectivity,
+    Invariant::Availability,
+    Invariant::GroupSizeBand,
+    Invariant::StaleBound,
+];
+
+/// What one arm of one cell did.
+struct Outcome {
+    ttr: Option<u64>,
+    survived: bool,
+    conn_violations: u64,
+    total_violations: u64,
+    orphaned: u64,
+    admitted: u64,
+    rejected: u64,
+    reconciled: u64,
+    shed_rounds: u64,
+    transitions: usize,
+    final_members: usize,
+    initial_members: usize,
+}
+
+/// Run one cell: overlay + ambient adversary + catastrophe spec, one arm.
+/// `event_round` anchors the TTR clock (burst round, or partition heal
+/// round). Recovery declared at the first post-event round where every
+/// invariant has been green for `G` straight rounds and the storm queue
+/// is drained.
+fn run_cell(
+    n: usize,
+    seed: u64,
+    spec: &CatastropheSpec,
+    enabled: bool,
+    rp: RecoveryParams,
+    total_epochs: u64,
+    event_round: u64,
+) -> Outcome {
+    let ov = DosOverlay::new(n, params(), seed);
+    let epoch_len = ov.epoch_len();
+    let runner = FaultyRunner::new(
+        ov,
+        FaultSchedule::new(seed, 0.0, 0.0, None, AMBIENT_BOUND),
+        HealingParams::default(),
+        true,
+    );
+    let mut r = RecoveryRunner::new(runner, spec.schedule(), rp, enabled, spec.seed);
+    let initial_members = r.runner.overlay.len();
+    let mut adv = CatastropheCampaign::new(
+        DosAdversary::new(DosStrategy::Random, AMBIENT_BOUND, 2 * epoch_len, seed ^ 0xA8),
+        spec.clone(),
+    );
+    let g = rp.exit_hysteresis;
+    let mut ttr = None;
+    for _ in 0..total_epochs * epoch_len {
+        let round = r.runner.overlay.round();
+        adv.observe(r.runner.overlay.snapshot(round));
+        let blocked = adv.block(round, r.runner.overlay.len());
+        r.step(&blocked);
+        let now = r.runner.overlay.round();
+        if ttr.is_none()
+            && now > event_round
+            && r.healthy_streak() >= g
+            && r.pending_arrivals() == 0
+        {
+            ttr = Some(now - event_round);
+        }
+    }
+    let s = r.stats();
+    let total_violations: u64 = SURVIVAL.iter().map(|&inv| r.runner.monitor.count(inv)).sum();
+    let final_members = r.runner.overlay.len();
+    Outcome {
+        ttr,
+        // Survival = green for G straight rounds after the event with no
+        // node permanently lost *to the catastrophe*: the TTR clock only
+        // starts once the storm queue is drained, so zero orphans means
+        // every victim made it back. (The ambient blocker occasionally
+        // evicts an unlucky node it kept silent for three straight
+        // epochs — identical noise in both arms, not counted against
+        // survival; the members column shows it.)
+        survived: ttr.is_some() && s.orphaned == 0,
+        conn_violations: r.runner.monitor.count(Invariant::Connectivity),
+        total_violations,
+        orphaned: s.orphaned,
+        admitted: s.admitted,
+        rejected: s.rejected,
+        reconciled: s.reconciled,
+        shed_rounds: s.shed_rounds,
+        transitions: r.transitions().len(),
+        final_members,
+        initial_members,
+    }
+}
+
+fn fmt_ttr(o: &Outcome) -> String {
+    match (o.survived, o.ttr) {
+        (true, Some(t)) => t.to_string(),
+        // Stabilized, but minus its orphans: lossy, not a recovery.
+        (false, Some(t)) => format!("{t} (lossy)"),
+        _ => "never".into(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn json_row(
+    kind: &str,
+    arm: &str,
+    target: &str,
+    frac: f64,
+    window_epochs: u64,
+    duration_epochs: u64,
+    n: usize,
+    o: &Outcome,
+) -> serde_json::Value {
+    serde_json::json!({
+        "kind": kind,
+        "arm": arm,
+        "target": target,
+        "frac": frac,
+        "storm_window_epochs": window_epochs,
+        "partition_epochs": duration_epochs,
+        "n": n,
+        "ttr_rounds": o.ttr.map(serde_json::Value::from).unwrap_or(serde_json::Value::Null),
+        "survived": o.survived,
+        "connectivity_violations": o.conn_violations,
+        "total_violations": o.total_violations,
+        "orphaned": o.orphaned,
+        "admitted": o.admitted,
+        "rejected": o.rejected,
+        "reconciled": o.reconciled,
+        "shed_rounds": o.shed_rounds,
+        "mode_transitions": o.transitions,
+        "final_members": o.final_members,
+        "initial_members": o.initial_members,
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = 0xA8A8u64;
+    let n = if smoke { 128usize } else { 512 };
+    let fracs: &[f64] = if smoke { &[0.20, 0.45] } else { &[0.10, 0.20, 0.30, 0.45] };
+    let windows: &[u64] = if smoke { &[1, 4] } else { &[1, 4, 8] };
+    let partition_cells: &[(f64, u64)] =
+        if smoke { &[(0.20, 2)] } else { &[(0.20, 2), (0.20, 6), (0.45, 2), (0.45, 6)] };
+    let (burst_epochs, partition_epochs) = if smoke { (18u64, 14u64) } else { (26, 34) };
+
+    let base = RecoveryParams::from_env()
+        .unwrap_or_else(|e| RunError::new("parse recovery knobs", e.to_string()).exit());
+    // One join slot per round: a single stressed introducer, so the
+    // post-eviction tail of a long storm actually overflows the join
+    // path (with the default capacity the control quietly keeps up and
+    // the arms are indistinguishable).
+    let rp = RecoveryParams { join_capacity: 1, ..base };
+
+    let epoch_len = DosOverlay::epoch_len_for(n, &params());
+    let burst_at = 3 * epoch_len;
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        if smoke {
+            "A8 (smoke): time-to-recover, recovery vs control"
+        } else {
+            "A8: time-to-recover, recovery vs control"
+        },
+        &["cell", "arm", "TTR (rounds)", "conn viol", "orphaned", "members"],
+    );
+
+    // Burst sweep: fraction x storm window x arm, group-targeted, plus
+    // one contiguous-target pair for comparison.
+    let mut burst_cells: Vec<(f64, u64, BurstTarget)> = Vec::new();
+    for &frac in fracs {
+        for &w in windows {
+            burst_cells.push((frac, w, BurstTarget::Groups));
+        }
+    }
+    if !smoke {
+        burst_cells.push((0.30, 4, BurstTarget::Contiguous));
+    }
+
+    // (frac, window, target-label, arm, survived, ttr) for the headline.
+    type MatrixRow = (f64, u64, &'static str, bool, bool, Option<u64>);
+    let mut matrix: Vec<MatrixRow> = Vec::new();
+    for &(frac, w, target) in &burst_cells {
+        let tname = match target {
+            BurstTarget::Groups => "groups",
+            BurstTarget::Contiguous => "contiguous",
+        };
+        let spec = CatastropheSpec::new(seed).with_burst(Burst {
+            at: burst_at,
+            frac,
+            target,
+            storm_window: w * epoch_len,
+        });
+        for enabled in [true, false] {
+            let arm = if enabled { "recovery" } else { "control" };
+            let o = run_cell(n, seed, &spec, enabled, rp, burst_epochs, burst_at);
+            table.row(vec![
+                format!("burst {tname} f={frac:.2} w={w}ep"),
+                arm.into(),
+                fmt_ttr(&o),
+                o.conn_violations.to_string(),
+                o.orphaned.to_string(),
+                format!("{}/{}", o.final_members, o.initial_members),
+            ]);
+            rows.push(json_row("burst", arm, tname, frac, w, 0, n, &o));
+            matrix.push((frac, w, tname, enabled, o.survived, o.ttr));
+        }
+    }
+
+    // Partition cells: side fraction x duration x arm. TTR clock starts
+    // at the heal round — recovery here is reconciliation speed.
+    for &(side_frac, dur) in partition_cells {
+        let heal_at = burst_at + dur * epoch_len;
+        let spec = CatastropheSpec::new(seed).with_partition(TimedPartition {
+            at: burst_at,
+            heal_at,
+            side_frac,
+        });
+        for enabled in [true, false] {
+            let arm = if enabled { "recovery" } else { "control" };
+            let o = run_cell(n, seed, &spec, enabled, rp, partition_epochs, heal_at);
+            table.row(vec![
+                format!("partition s={side_frac:.2} d={dur}ep"),
+                arm.into(),
+                fmt_ttr(&o),
+                o.conn_violations.to_string(),
+                o.orphaned.to_string(),
+                format!("{}/{}", o.final_members, o.initial_members),
+            ]);
+            rows.push(json_row("partition", arm, "side", side_frac, 0, dur, n, &o));
+        }
+    }
+    table.print();
+    println!();
+
+    // Max survivable burst per arm and storm window (group-targeted).
+    let mut max_table =
+        Table::new("max survivable burst fraction", &["storm window", "recovery", "control"]);
+    for &w in windows {
+        let best = |arm_enabled: bool| {
+            matrix
+                .iter()
+                .filter(|&&(_, mw, t, e, s, _)| mw == w && t == "groups" && e == arm_enabled && s)
+                .map(|&(f, ..)| f)
+                .fold(None::<f64>, |acc, f| Some(acc.map_or(f, |a: f64| a.max(f))))
+        };
+        let show = |b: Option<f64>| b.map(|f| format!("{f:.2}")).unwrap_or_else(|| "none".into());
+        let (r_best, c_best) = (best(true), best(false));
+        max_table.row(vec![format!("{w} epochs"), show(r_best), show(c_best)]);
+        rows.push(serde_json::json!({
+            "kind": "max_survivable",
+            "storm_window_epochs": w,
+            "recovery": r_best.map(serde_json::Value::from).unwrap_or(serde_json::Value::Null),
+            "control": c_best.map(serde_json::Value::from).unwrap_or(serde_json::Value::Null),
+            "n": n,
+        }));
+    }
+    max_table.print();
+    println!();
+
+    // Headline: a cell where the recovery arm comes back whole and the
+    // control does not.
+    let separated: Vec<&MatrixRow> = matrix
+        .iter()
+        .filter(|&&(f, w, t, e, s, _)| {
+            e && s
+                && matrix
+                    .iter()
+                    .any(|&(f2, w2, t2, e2, s2, _)| !e2 && !s2 && f2 == f && w2 == w && t2 == t)
+        })
+        .collect();
+    if let Some(&&(f, w, t, _, _, ttr)) = separated.first() {
+        println!(
+            "separation: burst {t} f={f:.2} w={w}ep kills the control (orphaned, never whole \
+             again) while the recovery arm returns to all-invariants-green in {} rounds.",
+            ttr.map(|t| t.to_string()).unwrap_or_else(|| "?".into()),
+        );
+    } else {
+        println!("warning: no cell separates the arms — inspect the matrix above.");
+    }
+
+    let result = ExperimentResult {
+        // Smoke writes its own id so a PR-gate run never clobbers the
+        // full-resolution results/a8.json.
+        id: if smoke { "A8-smoke".into() } else { "A8".into() },
+        title: "catastrophic-failure time-to-recover".into(),
+        claim: "the recovery protocol survives correlated bursts that permanently shrink or \
+                disconnect the no-recovery control, with bounded time-to-recover"
+            .into(),
+        rows,
+    };
+    let path = write_json_or_exit(&result);
+    println!("json: {}", path.display());
+}

@@ -11,7 +11,8 @@ use overlay_stats::{fit_log, fit_loglog, tv_distance_uniform};
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use reconfig_bench::{
-    experiment_telemetry, table::f, write_json, write_telemetry, ExperimentResult, Table,
+    experiment_telemetry, table::f, write_json_or_exit, write_telemetry_or_exit, ExperimentResult,
+    Table,
 };
 use reconfig_core::config::SamplingParams;
 use reconfig_core::sampling::{run_alg1_direct_observed, run_alg1_observed};
@@ -91,10 +92,9 @@ fn main() {
         claim: "Theorem 2".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
-    if let Some(tpath) = write_telemetry("E1", &tel, &[("claim", "Theorem 2")]).expect("telemetry")
-    {
+    if let Some(tpath) = write_telemetry_or_exit("E1", &tel, &[("claim", "Theorem 2")]) {
         println!("telemetry: {}", tpath.display());
     }
 }

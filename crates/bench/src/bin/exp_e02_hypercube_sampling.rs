@@ -7,7 +7,8 @@
 
 use overlay_stats::uniform_fit;
 use reconfig_bench::{
-    experiment_telemetry, table::f, write_json, write_telemetry, ExperimentResult, Table,
+    experiment_telemetry, table::f, write_json_or_exit, write_telemetry_or_exit, ExperimentResult,
+    Table,
 };
 use reconfig_core::config::{SamplingParams, Schedule};
 use reconfig_core::sampling::run_alg2_observed;
@@ -76,10 +77,9 @@ fn main() {
         claim: "Theorem 3".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
-    if let Some(tpath) = write_telemetry("E2", &tel, &[("claim", "Theorem 3")]).expect("telemetry")
-    {
+    if let Some(tpath) = write_telemetry_or_exit("E2", &tel, &[("claim", "Theorem 3")]) {
         println!("telemetry: {}", tpath.display());
     }
 }

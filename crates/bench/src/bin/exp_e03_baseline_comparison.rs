@@ -10,7 +10,7 @@ use overlay_graphs::HGraph;
 use overlay_stats::{fit_log, fit_loglog};
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use reconfig_bench::{table::f, write_json, ExperimentResult, Table};
+use reconfig_bench::{table::f, write_json_or_exit, ExperimentResult, Table};
 use reconfig_core::config::SamplingParams;
 use reconfig_core::sampling::{run_alg1, run_baseline};
 use simnet::NodeId;
@@ -66,6 +66,6 @@ fn main() {
         claim: "Section 3 headline / related-work comparison".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

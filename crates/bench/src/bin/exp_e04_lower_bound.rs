@@ -7,7 +7,7 @@
 //! within a constant factor of that floor.
 
 use overlay_graphs::{Adjacency, Hypercube};
-use reconfig_bench::{write_json, ExperimentResult, Table};
+use reconfig_bench::{write_json_or_exit, ExperimentResult, Table};
 use reconfig_core::config::SamplingParams;
 use reconfig_core::sampling::{knowledge_spread_rounds, run_alg2};
 use simnet::NodeId;
@@ -81,6 +81,6 @@ fn main() {
         claim: "Lemma 4".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

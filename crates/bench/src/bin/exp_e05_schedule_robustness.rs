@@ -8,7 +8,7 @@
 use overlay_graphs::HGraph;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use reconfig_bench::{table::f, write_json, ExperimentResult, Table};
+use reconfig_bench::{table::f, write_json_or_exit, ExperimentResult, Table};
 use reconfig_core::config::SamplingParams;
 use reconfig_core::sampling::run_alg1_direct;
 use simnet::NodeId;
@@ -62,6 +62,6 @@ fn main() {
         claim: "Lemmas 5 and 7 (and 9)".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

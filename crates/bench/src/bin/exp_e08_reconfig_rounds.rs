@@ -9,7 +9,7 @@ use overlay_graphs::HGraph;
 use overlay_stats::{fit_log, fit_loglog};
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use reconfig_bench::{write_json, ExperimentResult, Table};
+use reconfig_bench::{write_json_or_exit, ExperimentResult, Table};
 use reconfig_core::config::SamplingParams;
 use reconfig_core::reconfig::{run_epoch, BridgeMode, EpochInput};
 use simnet::NodeId;
@@ -63,6 +63,6 @@ fn main() {
         claim: "Lemma 13 / Theorem 4".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

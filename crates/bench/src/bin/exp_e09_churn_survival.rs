@@ -6,7 +6,7 @@
 //! control fails to integrate any joiner.
 
 use overlay_adversary::churn::{ChurnSchedule, ChurnStrategy};
-use reconfig_bench::{table::f, write_json, ExperimentResult, Table};
+use reconfig_bench::{table::f, write_json_or_exit, ExperimentResult, Table};
 use reconfig_core::config::SamplingParams;
 use reconfig_core::reconfig::ExpanderOverlay;
 
@@ -70,6 +70,6 @@ fn main() {
         claim: "Theorem 5".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

@@ -8,7 +8,7 @@
 //! grows.
 
 use overlay_adversary::dos::{DosAdversary, DosStrategy};
-use reconfig_bench::{table::f, write_json, ExperimentResult, Table};
+use reconfig_bench::{table::f, write_json_or_exit, ExperimentResult, Table};
 use reconfig_core::dos::{DosOverlay, DosParams};
 
 fn main() {
@@ -87,6 +87,6 @@ fn main() {
         claim: "Lemmas 16 and 17".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

@@ -7,7 +7,7 @@
 
 use overlay_adversary::churn::{ChurnSchedule, ChurnStrategy};
 use overlay_adversary::dos::{DosAdversary, DosStrategy};
-use reconfig_bench::{table::f, write_json, ExperimentResult, Table};
+use reconfig_bench::{table::f, write_json_or_exit, ExperimentResult, Table};
 use reconfig_core::churndos::{ChurnDosOverlay, ChurnDosParams};
 
 fn main() {
@@ -64,6 +64,6 @@ fn main() {
         claim: "Lemma 18 / Theorem 7".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

@@ -9,7 +9,7 @@
 use overlay_adversary::dos::{DosAdversary, DosStrategy};
 use overlay_apps::anon::Anonymizer;
 use overlay_stats::tv_distance_uniform;
-use reconfig_bench::{table::f, write_json, ExperimentResult, Table};
+use reconfig_bench::{table::f, write_json_or_exit, ExperimentResult, Table};
 use reconfig_core::dos::DosParams;
 
 fn main() {
@@ -72,6 +72,6 @@ fn main() {
         claim: "Corollary 2".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

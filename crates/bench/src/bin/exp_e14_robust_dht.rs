@@ -8,7 +8,7 @@
 //! theorem's blocking budget.
 
 use overlay_apps::dht::{DhtOp, RobustDht};
-use reconfig_bench::{table::f, write_json, ExperimentResult, Table};
+use reconfig_bench::{table::f, write_json_or_exit, ExperimentResult, Table};
 use simnet::{BlockSet, NodeId};
 
 fn main() {
@@ -76,6 +76,6 @@ fn main() {
         claim: "Theorem 8".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

@@ -8,7 +8,7 @@
 
 use overlay_apps::dht::RobustDht;
 use overlay_apps::pubsub::PubSub;
-use reconfig_bench::{write_json, ExperimentResult, Table};
+use reconfig_bench::{write_json_or_exit, ExperimentResult, Table};
 use simnet::{BlockSet, NodeId};
 
 fn main() {
@@ -68,6 +68,6 @@ fn main() {
         claim: "Section 7.3".into(),
         rows,
     };
-    let path = write_json(&result).expect("write results");
+    let path = write_json_or_exit(&result);
     println!("json: {}", path.display());
 }

@@ -27,7 +27,7 @@ use overlay_adversary::shrink::{shrink_trace, AdversaryTrace, ReplayAdversary, R
 use reconfig_core::churndos::{ChurnDosOverlay, ChurnDosParams};
 use reconfig_core::dos::{DosOverlay, DosParams};
 use reconfig_core::healing::HealableOverlay;
-use simnet::checkpoint::{read_value, Checkpointer};
+use simnet::checkpoint::Checkpointer;
 use simnet::Checkpoint;
 use std::path::Path;
 use std::process::ExitCode;
@@ -222,13 +222,15 @@ where
 
 fn run() -> Result<ExitCode, String> {
     let o = Opts::parse()?;
-    let latest = Path::new(&o.dir).join("latest.json");
+    let dir = Path::new(&o.dir);
     match o.family.as_str() {
         "dos" => {
             let params = DosParams { group_c: o.group_c, ..DosParams::default() };
             let ov = if o.resume {
-                DosOverlay::load(&read_value(&latest).map_err(|e| format!("{e:?}"))?)
-                    .map_err(|e| format!("resume: {e:?}"))?
+                let (path, ov) =
+                    Checkpointer::latest::<DosOverlay>(dir).map_err(|e| format!("resume: {e}"))?;
+                eprintln!("soak: resuming from {}", path.display());
+                ov
             } else {
                 DosOverlay::new(o.n, params, o.seed)
             };
@@ -237,8 +239,10 @@ fn run() -> Result<ExitCode, String> {
         "churndos" => {
             let params = ChurnDosParams::default();
             let ov = if o.resume {
-                ChurnDosOverlay::load(&read_value(&latest).map_err(|e| format!("{e:?}"))?)
-                    .map_err(|e| format!("resume: {e:?}"))?
+                let (path, ov) = Checkpointer::latest::<ChurnDosOverlay>(dir)
+                    .map_err(|e| format!("resume: {e}"))?;
+                eprintln!("soak: resuming from {}", path.display());
+                ov
             } else {
                 ChurnDosOverlay::new(o.n, params, o.seed)
             };

@@ -12,4 +12,4 @@ pub mod telemetry_out;
 pub use report::{LoadedRun, ReportError};
 pub use runner::{write_json, write_json_or_exit, ExperimentResult, RunError};
 pub use table::Table;
-pub use telemetry_out::{experiment_telemetry, write_telemetry};
+pub use telemetry_out::{experiment_telemetry, write_telemetry, write_telemetry_or_exit};

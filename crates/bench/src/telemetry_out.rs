@@ -41,6 +41,18 @@ pub fn write_telemetry(
     Ok(Some(path))
 }
 
+/// [`write_telemetry`], but an I/O failure prints a [`RunError`] and
+/// exits instead of panicking — the experiment's science is already done
+/// by the time telemetry is flushed, so die cleanly and say why.
+pub fn write_telemetry_or_exit(
+    id: &str,
+    tel: &Telemetry,
+    meta: &[(&str, &str)],
+) -> Option<PathBuf> {
+    write_telemetry(id, tel, meta)
+        .unwrap_or_else(|e| crate::RunError::new("write telemetry", e.to_string()).exit())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

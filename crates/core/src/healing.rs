@@ -79,6 +79,36 @@ impl Default for HealingParams {
     }
 }
 
+/// Capped exponential backoff: attempt `k` waits `min(base << k, cap)`
+/// rounds. The healing retry ladder uses it uncapped (its retry budget is
+/// small, so the exponential never runs away); the recovery layer caps it
+/// so a long rejoin storm keeps retrying at a bounded cadence instead of
+/// backing off past the horizon.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    /// Delay of attempt 0, in rounds (floored to 1).
+    pub base: u64,
+    /// Upper bound on any delay.
+    pub cap: u64,
+}
+
+impl Backoff {
+    /// Exponential backoff with no cap.
+    pub fn uncapped(base: u64) -> Self {
+        Self { base, cap: u64::MAX }
+    }
+
+    /// Exponential backoff capped at `cap` rounds.
+    pub fn capped(base: u64, cap: u64) -> Self {
+        Self { base, cap }
+    }
+
+    /// Rounds to wait after attempt number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> u64 {
+        self.base.max(1).checked_shl(attempt).unwrap_or(u64::MAX).min(self.cap)
+    }
+}
+
 /// Aggregate healing statistics of a run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct HealingStats {
@@ -96,6 +126,20 @@ pub struct HealingStats {
     pub rejoins: u64,
     /// Crash events injected by the schedule.
     pub crashes: u64,
+}
+
+/// What happened when a crashed node was returned to the overlay via
+/// [`FaultyRunner::return_node`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReturnOutcome {
+    /// Its membership had been evicted while it was down; it re-entered
+    /// through the join path.
+    Rejoined,
+    /// Still a member, but its state is lost: it came back
+    /// desynchronized.
+    Desynced,
+    /// It was not down — nothing to do.
+    Ignored,
 }
 
 /// Outcome of one re-request attempt.
@@ -119,6 +163,11 @@ struct RetryState {
 #[derive(Clone, Debug)]
 pub struct HealthTracker {
     timeout_epochs: u64,
+    /// Multiplier on `timeout_epochs`, normally 1. The recovery layer's
+    /// SafeMode widens heartbeat timeouts through this so that burst
+    /// victims expected back within the storm window are not evicted
+    /// mid-storm (an eviction turns a free desync-return into a join).
+    timeout_factor: u64,
     max_retries: u32,
     backoff_base: u64,
     /// Consecutive epochs of silence per member (bumped at boundaries).
@@ -137,6 +186,7 @@ impl HealthTracker {
     pub fn new(params: HealingParams) -> Self {
         Self {
             timeout_epochs: params.heartbeat_epochs.max(1),
+            timeout_factor: 1,
             max_retries: params.max_retries.max(1),
             backoff_base: params.backoff_base.max(1),
             staleness: BTreeMap::new(),
@@ -188,9 +238,21 @@ impl HealthTracker {
             self.stats.exhausted += 1;
             RetryOutcome::Exhausted
         } else {
-            state.next_due = round + (self.backoff_base << state.attempts);
+            state.next_due = round + Backoff::uncapped(self.backoff_base).delay(state.attempts);
             RetryOutcome::Backoff
         }
+    }
+
+    /// Resynchronize `v` out of band (e.g. the recovery layer's
+    /// reconciliation delivered the assignment reliably). Returns whether
+    /// `v` was actually desynchronized.
+    fn resync(&mut self, v: NodeId) -> bool {
+        let was = self.desynced.remove(&v);
+        if was {
+            self.retries.remove(&v);
+            self.stats.resyncs += 1;
+        }
+        was
     }
 
     /// Bump epoch-granularity staleness counters: `silent` holds the
@@ -204,7 +266,7 @@ impl HealthTracker {
             if silent.contains(&v) && !self.retries.contains_key(&v) {
                 let c = self.staleness.entry(v).or_insert(0);
                 *c += 1;
-                if *c >= self.timeout_epochs {
+                if *c >= self.timeout_epochs.saturating_mul(self.timeout_factor.max(1)) {
                     evict.push(v);
                 }
             } else {
@@ -342,6 +404,105 @@ impl<O: HealableOverlay> FaultyRunner<O> {
     /// Members currently desynchronized.
     pub fn desynced_len(&self) -> usize {
         self.tracker.desynced_len()
+    }
+
+    // -- recovery-layer hooks ------------------------------------------------
+    //
+    // The catastrophic-recovery layer (`crate::recovery`) owns *when* burst
+    // victims crash and return; these hooks let it act through the same
+    // bookkeeping the schedule-driven path uses, so stats, telemetry and
+    // digests stay coherent. None of them is called on the ordinary path —
+    // a runner that never sees them behaves bit-identically to before.
+
+    /// Crash-stop `v` right now (burst injection). The node stays down
+    /// until [`Self::return_node`] or [`Self::abandon`]; the internal
+    /// schedule-driven recovery never fires for it. No-op when `v` is
+    /// already down.
+    pub fn force_crash(&mut self, v: NodeId) {
+        if self.down.contains_key(&v) {
+            return;
+        }
+        let round = self.overlay.round();
+        self.down.insert(v, u64::MAX);
+        self.tracker.stats.crashes += 1;
+        self.tracker.forget(v);
+        self.heal_event(round, EventKind::Crash, "crash", v, u64::MAX);
+    }
+
+    /// Return a crashed node to the overlay: a rejoin if its membership
+    /// was evicted while it was down, otherwise a desynchronized comeback
+    /// (its state is lost either way). The caller — not the healing
+    /// flag — decides that the join happens; use [`Self::abandon`] for the
+    /// no-recovery arm's rejected joiners.
+    pub fn return_node(&mut self, v: NodeId) -> ReturnOutcome {
+        if self.down.remove(&v).is_none() {
+            return ReturnOutcome::Ignored;
+        }
+        let round = self.overlay.round();
+        if self.evicted_while_down.remove(&v) {
+            self.overlay.rejoin(v);
+            self.tracker.stats.rejoins += 1;
+            self.heal_event(round, EventKind::Rejoin, "rejoin", v, 0);
+            ReturnOutcome::Rejoined
+        } else {
+            self.tracker.mark_desynced(v, round, self.healing);
+            self.heal_event(round, EventKind::Desync, "desync", v, 0);
+            ReturnOutcome::Desynced
+        }
+    }
+
+    /// Forget a crashed node entirely: it neither returns nor rejoins
+    /// (a permanently orphaned storm victim in the no-recovery control).
+    pub fn abandon(&mut self, v: NodeId) {
+        self.down.remove(&v);
+        self.evicted_while_down.remove(&v);
+        self.tracker.forget(v);
+    }
+
+    /// Mark a live member desynchronized right now (partition-heal: the
+    /// minority side missed reconfigurations during the window).
+    pub fn mark_desynced_now(&mut self, v: NodeId) {
+        let round = self.overlay.round();
+        self.tracker.mark_desynced(v, round, self.healing);
+        self.heal_event(round, EventKind::Desync, "desync", v, 2);
+    }
+
+    /// Resynchronize a member out of band (reconciliation delivered the
+    /// assignment reliably). Returns whether it was desynchronized.
+    pub fn force_resync(&mut self, v: NodeId) -> bool {
+        let was = self.tracker.resync(v);
+        if was {
+            self.heal_event(self.overlay.round(), EventKind::Resync, "resync", v, 1);
+        }
+        was
+    }
+
+    /// Widen (or restore) the heartbeat timeout: silence is tolerated for
+    /// `factor * heartbeat_epochs` epochs. SafeMode sets this above 1 so
+    /// storm victims due back shortly are not evicted mid-storm.
+    pub fn set_heartbeat_factor(&mut self, factor: u64) {
+        self.tracker.timeout_factor = factor.max(1);
+    }
+
+    /// Is `v` currently crashed?
+    pub fn is_down(&self, v: NodeId) -> bool {
+        self.down.contains_key(&v)
+    }
+
+    /// Was the crashed `v`'s membership evicted while it was down (so a
+    /// return needs the join path)?
+    pub fn was_evicted_while_down(&self, v: NodeId) -> bool {
+        self.evicted_while_down.contains(&v)
+    }
+
+    /// The declared adversary blocking budget, if any.
+    pub fn dos_bound(&self) -> Option<f64> {
+        self.dos_bound
+    }
+
+    /// Is the self-healing layer active (vs the degradation control)?
+    pub fn healing_enabled(&self) -> bool {
+        self.healing
     }
 
     /// Execute one round: inject recoveries and fresh crashes, run the
@@ -940,6 +1101,88 @@ mod tests {
         // Violations mirror into the monitor counters 1:1.
         assert_eq!(snap.counters.keys().filter(|k| k.starts_with("monitor.")).count(), 0);
         assert!(runner.monitor.ok(), "{}", runner.monitor.report());
+    }
+
+    #[test]
+    fn backoff_caps_the_exponential() {
+        let b = Backoff::capped(2, 16);
+        assert_eq!(b.delay(0), 2);
+        assert_eq!(b.delay(2), 8);
+        assert_eq!(b.delay(3), 16);
+        assert_eq!(b.delay(40), 16, "capped");
+        assert_eq!(Backoff::uncapped(1).delay(3), 8);
+        assert_eq!(Backoff::uncapped(1).delay(200), u64::MAX, "overflow saturates");
+        assert_eq!(Backoff::uncapped(0).delay(0), 1, "base floored to 1");
+    }
+
+    #[test]
+    fn force_crash_and_return_round_trip() {
+        let ov = DosOverlay::new(256, DosParams::default(), 6);
+        let mut runner =
+            FaultyRunner::new(ov, sched(1, 0.0, 0.0, None), HealingParams::default(), true);
+        let v = runner.overlay.members_sorted()[0];
+        assert!(!runner.is_down(v));
+        runner.force_crash(v);
+        assert!(runner.is_down(v));
+        let crashes = runner.stats().crashes;
+        runner.force_crash(v); // idempotent
+        assert_eq!(runner.stats().crashes, crashes);
+        // Still a member (nothing evicted it): it returns desynchronized.
+        assert_eq!(runner.return_node(v), ReturnOutcome::Desynced);
+        assert!(!runner.is_down(v));
+        assert_eq!(runner.desynced_len(), 1);
+        assert!(runner.force_resync(v));
+        assert_eq!(runner.desynced_len(), 0);
+        assert!(!runner.force_resync(v), "second resync is a no-op");
+        // Returning a node that is not down is ignored.
+        assert_eq!(runner.return_node(v), ReturnOutcome::Ignored);
+    }
+
+    #[test]
+    fn returning_an_evicted_victim_rejoins_and_abandon_forgets() {
+        let ov = DosOverlay::new(256, DosParams::default(), 7);
+        let epoch_len = ov.epoch_len();
+        let mut runner =
+            FaultyRunner::new(ov, sched(2, 0.0, 0.0, None), HealingParams::default(), true);
+        let members = runner.overlay.members_sorted();
+        let (a, b) = (members[0], members[1]);
+        runner.force_crash(a);
+        runner.force_crash(b);
+        // Stay down past the heartbeat timeout so both are evicted.
+        for _ in 0..4 * epoch_len {
+            runner.step(&BlockSet::none());
+        }
+        assert!(runner.was_evicted_while_down(a), "3-epoch heartbeat must evict");
+        let n = runner.overlay.len();
+        assert_eq!(runner.return_node(a), ReturnOutcome::Rejoined);
+        assert_eq!(runner.overlay.len(), n + 1);
+        assert!(runner.stats().rejoins >= 1);
+        // Abandoning the other leaves it gone for good.
+        runner.abandon(b);
+        assert!(!runner.is_down(b));
+        assert_eq!(runner.overlay.len(), n + 1);
+        assert_eq!(runner.return_node(b), ReturnOutcome::Ignored);
+    }
+
+    #[test]
+    fn widened_heartbeat_tolerates_longer_silence() {
+        // Same crash, same silence; factor 4 outlives a timeout that the
+        // default factor 1 does not.
+        let run = |factor: u64| {
+            let ov = DosOverlay::new(256, DosParams::default(), 8);
+            let epoch_len = ov.epoch_len();
+            let mut runner =
+                FaultyRunner::new(ov, sched(3, 0.0, 0.0, None), HealingParams::default(), true);
+            runner.set_heartbeat_factor(factor);
+            let v = runner.overlay.members_sorted()[0];
+            runner.force_crash(v);
+            for _ in 0..4 * epoch_len {
+                runner.step(&BlockSet::none());
+            }
+            runner.was_evicted_while_down(v)
+        };
+        assert!(run(1), "default heartbeat evicts after 3 epochs of silence");
+        assert!(!run(4), "widened heartbeat (12 epochs) must not");
     }
 
     #[test]

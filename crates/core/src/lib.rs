@@ -19,9 +19,11 @@
 //!
 //! Beyond the paper, [`healing`] adds self-healing (heartbeat eviction,
 //! re-request with backoff, rejoin after crash-recovery) under the
-//! composite fault schedules of `overlay_adversary::faults`, and
+//! composite fault schedules of `overlay_adversary::faults`,
 //! [`monitor`] provides the per-round invariant monitor the robustness
-//! harnesses report through.
+//! harnesses report through, and [`recovery`] adds catastrophic-failure
+//! recovery: correlated burst faults, a degraded-mode state machine with
+//! storm admission, and partition-heal reconciliation.
 
 pub mod backend;
 pub mod byzantine;
@@ -32,4 +34,5 @@ pub mod healing;
 pub mod metrics;
 pub mod monitor;
 pub mod reconfig;
+pub mod recovery;
 pub mod sampling;

@@ -171,6 +171,22 @@ impl InvariantMonitor {
         self.counts.get(&inv).copied().unwrap_or(0)
     }
 
+    /// True when the most recent round left every checked invariant with a
+    /// zero failing streak — the instantaneous "all green" signal the
+    /// recovery layer keys its hysteresis on. Unlike [`Self::ok`] this
+    /// forgives history: a monitor with past recorded violations is
+    /// healthy again once current checks pass.
+    pub fn healthy_round(&self) -> bool {
+        self.streak.values().all(|&s| s == 0)
+    }
+
+    /// Consecutive failing rounds currently accumulated for `inv` (zero
+    /// when its last check passed). Counts from the first failing round,
+    /// i.e. inside the grace window too.
+    pub fn failing_streak(&self, inv: Invariant) -> u64 {
+        self.streak.get(&inv).copied().unwrap_or(0)
+    }
+
     /// Total violations across all invariants (uncapped).
     pub fn total(&self) -> u64 {
         self.counts.values().sum()
@@ -295,5 +311,24 @@ mod tests {
         m.check(Invariant::Connectivity, 0, false, || "split".into());
         assert_eq!(m.count(Invariant::Availability), 0);
         assert_eq!(m.count(Invariant::Connectivity), 1);
+    }
+
+    #[test]
+    fn healthy_round_tracks_current_streaks_not_history() {
+        let mut m = InvariantMonitor::new().with_grace(Invariant::Availability, 3);
+        assert!(m.healthy_round());
+        m.begin_round();
+        // A failure inside the grace window is unhealthy *now*, even
+        // though nothing is recorded yet.
+        m.check(Invariant::Availability, 0, false, || "starved".into());
+        assert!(!m.healthy_round());
+        assert_eq!(m.failing_streak(Invariant::Availability), 1);
+        assert!(m.ok(), "grace swallowed the record");
+        // Recovery clears the streak; history (recorded or not) is
+        // forgiven.
+        m.begin_round();
+        m.check(Invariant::Availability, 1, true, || unreachable!());
+        assert!(m.healthy_round());
+        assert_eq!(m.failing_streak(Invariant::Availability), 0);
     }
 }

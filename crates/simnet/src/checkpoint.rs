@@ -46,6 +46,16 @@ pub enum CkptError {
         /// Execution mode of the engine attempting the restore.
         engine: &'static str,
     },
+    /// A directory scan found no checkpoint that loads cleanly — every
+    /// candidate was missing, torn, or corrupt.
+    NoUsableCheckpoint {
+        /// Directory that was scanned.
+        dir: String,
+        /// Candidate files considered.
+        scanned: usize,
+        /// Candidates skipped because they failed to read, parse, or load.
+        skipped: usize,
+    },
 }
 
 impl fmt::Display for CkptError {
@@ -64,6 +74,11 @@ impl fmt::Display for CkptError {
                 "checkpoint exec-mode mismatch: the checkpoint was written by a `{checkpoint}` \
                  run but a `{engine}` engine is restoring it; resume with a matching engine (or \
                  convert explicitly via XlNetwork::from_state_as)"
+            ),
+            CkptError::NoUsableCheckpoint { dir, scanned, skipped } => write!(
+                f,
+                "no usable checkpoint in `{dir}`: {scanned} candidate(s), {skipped} skipped as \
+                 torn or corrupt"
             ),
         }
     }
@@ -328,6 +343,46 @@ impl Checkpointer {
         self.written += 1;
         Ok(path)
     }
+
+    /// Load the newest checkpoint in `dir` that actually loads as a `T`,
+    /// skipping torn or corrupt files instead of failing on the first one.
+    ///
+    /// Tries `latest.json` first, then the round-named `ckpt-*.json` files
+    /// newest-first (round numbers are zero-padded, so lexicographic
+    /// filename order is round order). The atomic writer makes torn files
+    /// unlikely, but a full disk, an interrupted copy, or a stray editor
+    /// can still leave one — recovery must not be blocked by the very
+    /// artifact meant to enable it. Returns the path it loaded alongside
+    /// the state, or [`CkptError::NoUsableCheckpoint`] when every
+    /// candidate fails.
+    pub fn latest<T: Checkpoint>(dir: &Path) -> CkptResult<(PathBuf, T)> {
+        let mut candidates = vec![dir.join("latest.json")];
+        let mut rounds: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".json"))
+            })
+            .collect();
+        rounds.sort();
+        candidates.extend(rounds.into_iter().rev());
+
+        let mut scanned = 0;
+        let mut skipped = 0;
+        for path in candidates {
+            if !path.is_file() {
+                continue;
+            }
+            scanned += 1;
+            match read_value(&path).and_then(|v| T::load(&v)) {
+                Ok(state) => return Ok((path, state)),
+                Err(_) => skipped += 1,
+            }
+        }
+        Err(CkptError::NoUsableCheckpoint { dir: dir.display().to_string(), scanned, skipped })
+    }
 }
 
 #[cfg(test)]
@@ -387,5 +442,54 @@ mod tests {
         let v = serde_json::json!({ "counter": 1u64 });
         let err = NodeRng::load(&v).unwrap_err();
         assert!(err.to_string().contains("key"), "got: {err}");
+    }
+
+    /// Scratch directory unique to a test, emptied on entry.
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("simnet-ckpt-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn latest_falls_back_past_torn_and_corrupt_files() {
+        let dir = scratch("torn");
+        let mut ck = Checkpointer::checkpoint_every(1, &dir).unwrap();
+        ck.save(4, &7u64.save()).unwrap();
+        ck.save(9, &8u64.save()).unwrap();
+        ck.save(14, &9u64.save()).unwrap();
+        // Tear the newest round file mid-token and corrupt latest.json
+        // with valid JSON of the wrong shape.
+        std::fs::write(ck.path_for(14), "{\"trunc").unwrap();
+        std::fs::write(ck.latest_path(), "[\"not a u64\"]").unwrap();
+        let (path, state) = Checkpointer::latest::<u64>(&dir).unwrap();
+        assert_eq!(state, 8);
+        assert_eq!(path, ck.path_for(9));
+    }
+
+    #[test]
+    fn latest_prefers_the_latest_alias_when_it_loads() {
+        let dir = scratch("alias");
+        let mut ck = Checkpointer::checkpoint_every(1, &dir).unwrap();
+        ck.save(3, &5u64.save()).unwrap();
+        let (path, state) = Checkpointer::latest::<u64>(&dir).unwrap();
+        assert_eq!(state, 5);
+        assert_eq!(path, ck.latest_path());
+    }
+
+    #[test]
+    fn latest_reports_no_usable_checkpoint() {
+        let dir = scratch("allbad");
+        std::fs::write(dir.join("latest.json"), "garbage").unwrap();
+        std::fs::write(dir.join("ckpt-0000000004.json"), "{").unwrap();
+        let err = Checkpointer::latest::<u64>(&dir).unwrap_err();
+        match err {
+            CkptError::NoUsableCheckpoint { scanned, skipped, .. } => {
+                assert_eq!(scanned, 2);
+                assert_eq!(skipped, 2);
+            }
+            other => panic!("expected NoUsableCheckpoint, got {other}"),
+        }
     }
 }

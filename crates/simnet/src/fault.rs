@@ -360,6 +360,254 @@ fn judge_link_fate(link: &LinkFaults, rng: &mut NodeRng) -> LinkFate {
 }
 
 // ---------------------------------------------------------------------------
+// Correlated catastrophic fault events (beyond the composite fault model)
+// ---------------------------------------------------------------------------
+
+/// Which correlated slice of the membership a [`Burst`] crashes.
+///
+/// Correlation is the point: independent per-node crash hazards (the
+/// [`FaultModel`] / composite-schedule regime) spread damage evenly, which
+/// group-structured overlays absorb well. Real catastrophes — a rack, an
+/// AS, a cloud zone — take out *related* nodes at once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BurstTarget {
+    /// A contiguous run of the sorted member list starting at a seed-drawn
+    /// offset (wrapping). Under random group assignment this scatters
+    /// across groups — the benign flavour of a correlated slice.
+    Contiguous,
+    /// Whole groups, chosen by breadth-first walk over the group adjacency
+    /// from a seed-drawn pivot, *excluding the pivot itself*: the burst
+    /// eats the pivot's neighborhood outward until the victim budget is
+    /// spent. Once the whole distance-1 shell is covered the pivot is
+    /// structurally isolated — the worst case a group overlay admits.
+    Groups,
+}
+
+/// One mass-crash event: at round `at`, a `frac`-fraction of the current
+/// members — chosen as one correlated slice per `target` — crash-stops,
+/// and every victim attempts to come back within the following
+/// `storm_window` rounds (the flash-crowd rejoin storm).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Burst {
+    /// Round the burst fires (start of round).
+    pub at: u64,
+    /// Fraction of the current membership crashed, in `[0, 1]`.
+    pub frac: f64,
+    /// Which correlated slice is taken.
+    pub target: BurstTarget,
+    /// Width of the rejoin storm: every victim draws a return round
+    /// uniformly in `at + 1 ..= at + storm_window` (`0` is treated as 1 —
+    /// all victims return together the next round).
+    pub storm_window: u64,
+}
+
+/// A finite-duration partition with an explicit heal round: from round
+/// `at` up to (excluding) `heal_at`, a seed-drawn `side_frac` minority of
+/// the membership is cut off; at `heal_at` the two halves must be
+/// reconciled (the caller decides how — that is the recovery layer's job).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimedPartition {
+    /// First partitioned round (inclusive).
+    pub at: u64,
+    /// First healed round (exclusive end of the window). Must be `> at`.
+    pub heal_at: u64,
+    /// Fraction of the membership on the minority side, in `[0, 1]`.
+    pub side_frac: f64,
+}
+
+/// Pseudo-node id keying the burst schedule's RNG stream (distinct from
+/// the fault model's, the composite schedule's and the fuzz plan's).
+const BURST_STREAM: u64 = u64::MAX - 4;
+/// Purpose tag of the burst schedule's RNG stream.
+const BURST_PURPOSE: u64 = 0xB0_257;
+
+/// A seed-derived schedule of correlated catastrophic events: mass-crash
+/// [`Burst`]s with flash-crowd rejoin storms, and [`TimedPartition`]s with
+/// an explicit heal round.
+///
+/// All randomness (victim slices, per-victim storm offsets, partition
+/// sides) comes from one ChaCha stream keyed by
+/// `(seed, BURST_STREAM, BURST_PURPOSE)` and is drawn in a canonical
+/// order — events in schedule order, victims in sorted-member order — so a
+/// schedule replays bit-identically from its seed and is independent of
+/// the simulation backend or shard count. [`BurstSchedule::null`] draws
+/// nothing and schedules nothing.
+#[derive(Clone, Debug)]
+pub struct BurstSchedule {
+    bursts: Vec<Burst>,
+    partitions: Vec<TimedPartition>,
+    rng: NodeRng,
+}
+
+impl BurstSchedule {
+    /// The empty schedule: no bursts, no partitions, no draws.
+    pub fn null() -> Self {
+        Self::new(0)
+    }
+
+    /// An empty schedule drawing its randomness from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            bursts: Vec::new(),
+            partitions: Vec::new(),
+            rng: stream(seed, BURST_STREAM, BURST_PURPOSE),
+        }
+    }
+
+    /// Add a burst event (builder-style). Panics on a fraction outside
+    /// `[0, 1]` — a silent clamp would run a different catastrophe than
+    /// the one asked for.
+    pub fn with_burst(mut self, burst: Burst) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&burst.frac),
+            "burst fraction must be in [0, 1], got {}",
+            burst.frac
+        );
+        self.bursts.push(burst);
+        self
+    }
+
+    /// Add a timed partition (builder-style). Panics on an empty window or
+    /// a side fraction outside `[0, 1]`.
+    pub fn with_partition(mut self, p: TimedPartition) -> Self {
+        assert!(
+            p.heal_at > p.at,
+            "partition must heal after it starts ({} <= {})",
+            p.heal_at,
+            p.at
+        );
+        assert!(
+            (0.0..=1.0).contains(&p.side_frac),
+            "partition side fraction must be in [0, 1], got {}",
+            p.side_frac
+        );
+        self.partitions.push(p);
+        self
+    }
+
+    /// True when the schedule can never fire: no events, no draws, and a
+    /// run under it is bit-identical to one without it.
+    pub fn is_null(&self) -> bool {
+        self.bursts.is_empty() && self.partitions.is_empty()
+    }
+
+    /// The scheduled bursts, in insertion order.
+    pub fn bursts(&self) -> &[Burst] {
+        &self.bursts
+    }
+
+    /// The scheduled partitions, in insertion order.
+    pub fn partitions(&self) -> &[TimedPartition] {
+        &self.partitions
+    }
+
+    /// Indices of bursts firing at `round` (insertion order).
+    pub fn bursts_due(&self, round: u64) -> Vec<usize> {
+        self.bursts.iter().enumerate().filter(|(_, b)| b.at == round).map(|(i, _)| i).collect()
+    }
+
+    /// Indices of partitions starting at `round` (insertion order).
+    pub fn partitions_due(&self, round: u64) -> Vec<usize> {
+        self.partitions.iter().enumerate().filter(|(_, p)| p.at == round).map(|(i, _)| i).collect()
+    }
+
+    /// Draw burst `idx`'s victims and their storm return rounds.
+    ///
+    /// `members` must be the current membership in ascending id order;
+    /// `groups` / `group_edges` the group composition and group adjacency
+    /// (as in a topology snapshot) — only consulted for
+    /// [`BurstTarget::Groups`], and may be empty otherwise. Victims are
+    /// returned in ascending id order, each with a return round drawn
+    /// uniformly in `at + 1 ..= at + storm_window`; draws happen in that
+    /// sorted order, so the stream position is a pure function of the
+    /// schedule's event sequence.
+    pub fn draw_burst(
+        &mut self,
+        idx: usize,
+        members: &[NodeId],
+        groups: &[Vec<NodeId>],
+        group_edges: &[(u32, u32)],
+    ) -> Vec<(NodeId, u64)> {
+        let burst = self.bursts[idx];
+        let budget = (burst.frac * members.len() as f64).floor() as usize;
+        if budget == 0 || members.is_empty() {
+            return Vec::new();
+        }
+        let victims: BTreeSet<NodeId> = match burst.target {
+            BurstTarget::Contiguous => {
+                let start = self.rng.random_range(0..members.len());
+                (0..budget).map(|k| members[(start + k) % members.len()]).collect()
+            }
+            BurstTarget::Groups => self.group_shell_victims(budget, members, groups, group_edges),
+        };
+        let window = burst.storm_window.max(1);
+        victims.into_iter().map(|v| (v, burst.at + 1 + self.rng.random_range(0..window))).collect()
+    }
+
+    /// Victims for a [`BurstTarget::Groups`] burst: whole groups in BFS
+    /// order from a drawn pivot, pivot exempt, until the budget is spent
+    /// (the last group may overshoot — whole groups die, that is the
+    /// correlation). Falls back to a contiguous slice when no group
+    /// structure was supplied.
+    fn group_shell_victims(
+        &mut self,
+        budget: usize,
+        members: &[NodeId],
+        groups: &[Vec<NodeId>],
+        group_edges: &[(u32, u32)],
+    ) -> BTreeSet<NodeId> {
+        let occupied: Vec<usize> = (0..groups.len()).filter(|&g| !groups[g].is_empty()).collect();
+        if occupied.is_empty() {
+            let start = self.rng.random_range(0..members.len());
+            return (0..budget).map(|k| members[(start + k) % members.len()]).collect();
+        }
+        let pivot = occupied[self.rng.random_range(0..occupied.len())];
+        let mut adj: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for &(a, b) in group_edges {
+            adj.entry(a as usize).or_default().insert(b as usize);
+            adj.entry(b as usize).or_default().insert(a as usize);
+        }
+        // Deterministic BFS from the pivot (neighbors in ascending group
+        // index); the pivot itself is never a victim.
+        let mut seen: BTreeSet<usize> = [pivot].into();
+        let mut frontier: Vec<usize> = vec![pivot];
+        let mut victims: BTreeSet<NodeId> = BTreeSet::new();
+        while victims.len() < budget && !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &g in &frontier {
+                for &h in adj.get(&g).into_iter().flatten() {
+                    if seen.insert(h) {
+                        next.push(h);
+                    }
+                }
+            }
+            next.sort_unstable();
+            for g in next.iter().copied() {
+                if victims.len() >= budget {
+                    break;
+                }
+                victims.extend(groups[g].iter().copied());
+            }
+            frontier = next;
+        }
+        victims
+    }
+
+    /// Draw partition `idx`'s minority side: a contiguous run of the
+    /// sorted membership starting at a drawn offset (wrapping). Returned
+    /// in ascending id order.
+    pub fn draw_partition_side(&mut self, idx: usize, members: &[NodeId]) -> BTreeSet<NodeId> {
+        let p = self.partitions[idx];
+        let count = (p.side_frac * members.len() as f64).floor() as usize;
+        if count == 0 || members.is_empty() {
+            return BTreeSet::new();
+        }
+        let start = self.rng.random_range(0..members.len());
+        (0..count).map(|k| members[(start + k) % members.len()]).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Checkpointing
 // ---------------------------------------------------------------------------
 
@@ -477,6 +725,80 @@ impl Checkpoint for FaultModel {
             link: LinkFaults::load(field(v, "link")?)?,
             node_faults,
             partition,
+            rng: NodeRng::load(field(v, "rng")?)?,
+        })
+    }
+}
+
+impl Checkpoint for Burst {
+    fn save(&self) -> Value {
+        serde_json::json!({
+            "at": self.at,
+            "frac_bits": f64_bits(self.frac),
+            "target": match self.target {
+                BurstTarget::Contiguous => "contiguous",
+                BurstTarget::Groups => "groups",
+            },
+            "storm_window": self.storm_window,
+        })
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        let target = match get_str(v, "target")? {
+            "contiguous" => BurstTarget::Contiguous,
+            "groups" => BurstTarget::Groups,
+            other => {
+                return Err(crate::checkpoint::CkptError::Corrupt(format!(
+                    "unknown burst target `{other}`"
+                )))
+            }
+        };
+        Ok(Self {
+            at: get_u64(v, "at")?,
+            frac: get_f64_bits(v, "frac_bits")?,
+            target,
+            storm_window: get_u64(v, "storm_window")?,
+        })
+    }
+}
+
+impl Checkpoint for TimedPartition {
+    fn save(&self) -> Value {
+        serde_json::json!({
+            "at": self.at,
+            "heal_at": self.heal_at,
+            "side_frac_bits": f64_bits(self.side_frac),
+        })
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        Ok(Self {
+            at: get_u64(v, "at")?,
+            heal_at: get_u64(v, "heal_at")?,
+            side_frac: get_f64_bits(v, "side_frac_bits")?,
+        })
+    }
+}
+
+impl Checkpoint for BurstSchedule {
+    fn save(&self) -> Value {
+        serde_json::json!({
+            "bursts": Value::Array(self.bursts.iter().map(|b| b.save()).collect()),
+            "partitions": Value::Array(self.partitions.iter().map(|p| p.save()).collect()),
+            "rng": self.rng.save(),
+        })
+    }
+
+    fn load(v: &Value) -> CkptResult<Self> {
+        Ok(Self {
+            bursts: crate::checkpoint::get_array(v, "bursts")?
+                .iter()
+                .map(Burst::load)
+                .collect::<CkptResult<Vec<_>>>()?,
+            partitions: crate::checkpoint::get_array(v, "partitions")?
+                .iter()
+                .map(TimedPartition::load)
+                .collect::<CkptResult<Vec<_>>>()?,
             rng: NodeRng::load(field(v, "rng")?)?,
         })
     }
@@ -738,5 +1060,177 @@ mod tests {
                 other => panic!("expected a delay, got {other:?}"),
             }
         }
+    }
+
+    // -- burst schedules --
+
+    type BurstFixture = (Vec<NodeId>, Vec<Vec<NodeId>>, Vec<(u32, u32)>);
+
+    fn burst_fixture() -> BurstFixture {
+        // 8 groups of 4 on a 3-cube: group g holds nodes 4g..4g+3, group
+        // edges differ in one bit.
+        let members: Vec<NodeId> = (0..32).map(NodeId).collect();
+        let groups: Vec<Vec<NodeId>> =
+            (0..8u64).map(|g| (4 * g..4 * g + 4).map(NodeId).collect()).collect();
+        let mut edges = Vec::new();
+        for g in 0..8u32 {
+            for bit in 0..3 {
+                let h = g ^ (1 << bit);
+                if g < h {
+                    edges.push((g, h));
+                }
+            }
+        }
+        (members, groups, edges)
+    }
+
+    #[test]
+    fn burst_schedule_replays_bit_identically() {
+        let draw = |seed: u64| {
+            let mut s = BurstSchedule::new(seed)
+                .with_burst(Burst {
+                    at: 5,
+                    frac: 0.25,
+                    target: BurstTarget::Groups,
+                    storm_window: 4,
+                })
+                .with_burst(Burst {
+                    at: 9,
+                    frac: 0.25,
+                    target: BurstTarget::Contiguous,
+                    storm_window: 1,
+                })
+                .with_partition(TimedPartition { at: 12, heal_at: 20, side_frac: 0.3 });
+            let (members, groups, edges) = burst_fixture();
+            let a = s.draw_burst(0, &members, &groups, &edges);
+            let b = s.draw_burst(1, &members, &groups, &edges);
+            let side: Vec<NodeId> = s.draw_partition_side(0, &members).into_iter().collect();
+            (a, b, side)
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn group_burst_kills_whole_groups_and_spares_the_pivot() {
+        let (members, groups, edges) = burst_fixture();
+        let mut s = BurstSchedule::new(7).with_burst(Burst {
+            at: 3,
+            frac: 0.5,
+            target: BurstTarget::Groups,
+            storm_window: 2,
+        });
+        let victims = s.draw_burst(0, &members, &groups, &edges);
+        assert!(victims.len() >= 16, "budget floor(0.5*32)=16, got {}", victims.len());
+        let victim_set: BTreeSet<NodeId> = victims.iter().map(|&(v, _)| v).collect();
+        // Victims are unions of whole groups, and at least one group (the
+        // pivot) is fully spared.
+        let mut spared = 0;
+        for g in &groups {
+            let hit = g.iter().filter(|v| victim_set.contains(v)).count();
+            assert!(hit == 0 || hit == g.len(), "group partially hit: {hit}/{}", g.len());
+            if hit == 0 {
+                spared += 1;
+            }
+        }
+        assert!(spared >= 1);
+        // Storm returns land strictly inside (at, at + window].
+        for &(_, back) in &victims {
+            assert!((4..=5).contains(&back), "return round {back} outside storm window");
+        }
+    }
+
+    #[test]
+    fn contiguous_burst_takes_a_wrapped_run() {
+        let (members, groups, edges) = burst_fixture();
+        let mut s = BurstSchedule::new(11).with_burst(Burst {
+            at: 2,
+            frac: 0.25,
+            target: BurstTarget::Contiguous,
+            storm_window: 0,
+        });
+        let victims = s.draw_burst(0, &members, &groups, &edges);
+        assert_eq!(victims.len(), 8);
+        // window 0 behaves as 1: everyone returns the next round.
+        assert!(victims.iter().all(|&(_, back)| back == 3));
+        // The victim ids form one contiguous run modulo n.
+        let ids: Vec<u64> = victims.iter().map(|&(v, _)| v.raw()).collect();
+        let start = *ids.iter().find(|&&i| !ids.contains(&((i + 32 - 1) % 32))).unwrap_or(&ids[0]);
+        let expect: BTreeSet<u64> = (0..8).map(|k| (start + k) % 32).collect();
+        assert_eq!(ids.into_iter().collect::<BTreeSet<_>>(), expect);
+    }
+
+    #[test]
+    fn partition_side_respects_fraction() {
+        let (members, _, _) = burst_fixture();
+        let mut s = BurstSchedule::new(3).with_partition(TimedPartition {
+            at: 1,
+            heal_at: 4,
+            side_frac: 0.3,
+        });
+        let side = s.draw_partition_side(0, &members);
+        assert_eq!(side.len(), 9); // floor(0.3 * 32)
+        assert_eq!(s.partitions_due(1), vec![0]);
+        assert!(s.partitions_due(2).is_empty());
+    }
+
+    #[test]
+    fn null_schedule_is_null() {
+        let s = BurstSchedule::null();
+        assert!(s.is_null());
+        assert!(s.bursts_due(0).is_empty() && s.partitions_due(0).is_empty());
+        assert!(!BurstSchedule::new(1)
+            .with_burst(Burst {
+                at: 0,
+                frac: 0.1,
+                target: BurstTarget::Contiguous,
+                storm_window: 1
+            })
+            .is_null());
+    }
+
+    #[test]
+    fn burst_schedule_checkpoint_roundtrip_preserves_draws() {
+        let mk = || {
+            BurstSchedule::new(99)
+                .with_burst(Burst {
+                    at: 4,
+                    frac: 0.4,
+                    target: BurstTarget::Groups,
+                    storm_window: 3,
+                })
+                .with_partition(TimedPartition { at: 8, heal_at: 12, side_frac: 0.2 })
+        };
+        let (members, groups, edges) = burst_fixture();
+        let mut warm = mk();
+        // Advance the stream, snapshot mid-flight, then compare the next
+        // draws of the original vs the restored copy.
+        let _ = warm.draw_burst(0, &members, &groups, &edges);
+        let mut restored = BurstSchedule::load(&warm.save()).expect("roundtrip");
+        assert_eq!(
+            warm.draw_partition_side(0, &members),
+            restored.draw_partition_side(0, &members)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "burst fraction")]
+    fn burst_fraction_out_of_range_panics() {
+        let _ = BurstSchedule::new(0).with_burst(Burst {
+            at: 0,
+            frac: 1.5,
+            target: BurstTarget::Contiguous,
+            storm_window: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "heal after")]
+    fn partition_healing_before_start_panics() {
+        let _ = BurstSchedule::new(0).with_partition(TimedPartition {
+            at: 5,
+            heal_at: 5,
+            side_frac: 0.1,
+        });
     }
 }

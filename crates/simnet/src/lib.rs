@@ -84,7 +84,10 @@ pub use checkpoint::{Checkpoint, Checkpointer, CkptError, CkptResult};
 pub use conduct::{ByzantineConduct, Conduct, SendFate};
 pub use digest::{Digest, RoundDigest, RunManifest};
 pub use engine::{Network, ParMode, PAR_THRESHOLD};
-pub use fault::{BlockSet, FaultModel, LinkFate, LinkFaults, NodeFault, Partition};
+pub use fault::{
+    BlockSet, Burst, BurstSchedule, BurstTarget, FaultModel, LinkFate, LinkFaults, NodeFault,
+    Partition, TimedPartition,
+};
 pub use id::NodeId;
 pub use message::{Envelope, Payload};
 pub use observer::{AdaptiveAdversary, ObserverView, ViewBuffer};

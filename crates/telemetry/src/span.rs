@@ -53,6 +53,9 @@ pub enum EventKind {
     StrategyChoice,
     /// A checkpoint was written or restored.
     Checkpoint,
+    /// The recovery state machine changed mode (Normal/Degraded/SafeMode/
+    /// Recovering); the target mode travels in the event detail.
+    ModeTransition,
     /// Anything else; the name travels in the event detail.
     Custom,
 }
@@ -79,13 +82,14 @@ impl EventKind {
             EventKind::BudgetSpend => "budget-spend",
             EventKind::StrategyChoice => "strategy-choice",
             EventKind::Checkpoint => "checkpoint",
+            EventKind::ModeTransition => "mode-transition",
             EventKind::Custom => "custom",
         }
     }
 
     /// Parse an exported name back (for report tooling).
     pub fn from_name(s: &str) -> Option<Self> {
-        const ALL: [EventKind; 19] = [
+        const ALL: [EventKind; 20] = [
             EventKind::NodeAdded,
             EventKind::NodeRemoved,
             EventKind::NodeRecovered,
@@ -104,6 +108,7 @@ impl EventKind {
             EventKind::BudgetSpend,
             EventKind::StrategyChoice,
             EventKind::Checkpoint,
+            EventKind::ModeTransition,
             EventKind::Custom,
         ];
         ALL.into_iter().find(|k| k.name() == s)

@@ -58,6 +58,15 @@ a7 *flags="":
 byzfuzz cases="40":
     BYZ_CASES={{cases}} cargo test -q -p integration-tests --test byz_fuzz
 
+# A8 catastrophic-failure time-to-recover; `just a8 --smoke` for the PR gate.
+a8 *flags="":
+    cargo run --release -p reconfig-bench --bin exp_a8_recovery -- {{flags}}
+
+# Recovery-layer determinism + catastrophe fuzzing;
+# `just recoveryfuzz 50` for the nightly depth.
+recoveryfuzz cases="6":
+    RECOVERY_CASES={{cases}} cargo test -q -p integration-tests --test recovery_determinism
+
 # Engine-scaling benchmark (legacy vs simnet-xl, parity and fast modes);
 # `just s1 --smoke --cores 4` for the CI mode x shard gate at n=5e4, bare
 # `just s1 --cores 4` for the full shards x cores x mode sweep to n=1e7

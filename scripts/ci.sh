@@ -55,6 +55,12 @@ cargo run -q --release -p reconfig-bench --bin exp_a7_byzantine -- --smoke
 echo "==> Byzantine-campaign fuzzing (BYZ_CASES=${BYZ_CASES:-40})"
 BYZ_CASES="${BYZ_CASES:-40}" cargo test -q -p integration-tests --test byz_fuzz
 
+echo "==> catastrophic-failure recovery (A8 smoke sweep)"
+cargo run -q --release -p reconfig-bench --bin exp_a8_recovery -- --smoke
+
+echo "==> recovery determinism + catastrophe fuzzing (RECOVERY_CASES=${RECOVERY_CASES:-6})"
+RECOVERY_CASES="${RECOVERY_CASES:-6}" cargo test -q -p integration-tests --test recovery_determinism
+
 echo "==> s1-smoke: mode x shard matrix at n=5e4 (parity 1/4 vs legacy, fast 4 reproducible)"
 cargo run -q --release -p reconfig-bench --bin exp_s1_scale -- --smoke --cores 4
 

@@ -511,6 +511,60 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Recovery family: mode-transition streams across exec modes
+// ---------------------------------------------------------------------------
+
+/// Drive a catastrophe (group burst + storm) through a `RecoveryRunner`
+/// and capture the digest stream plus the mode-transition stream.
+fn recovery_trace(backend: Backend) -> (Vec<u64>, Vec<(u64, &'static str)>) {
+    use overlay_adversary::faults::FaultSchedule;
+    use reconfig_core::healing::FaultyRunner;
+    use reconfig_core::recovery::{RecoveryParams, RecoveryRunner};
+    with_backend(backend, || {
+        let seed = 0x4EC_FA57;
+        let ov = DosOverlay::new(128, DosParams { group_c: 1.0, ..DosParams::default() }, seed);
+        let epoch_len = ov.epoch_len();
+        let runner = FaultyRunner::new(
+            ov,
+            FaultSchedule::new(seed, 0.0, 0.0, None, 0.1),
+            HealingParams::default(),
+            true,
+        );
+        let schedule = simnet::BurstSchedule::new(seed).with_burst(simnet::Burst {
+            at: 2 * epoch_len,
+            frac: 0.3,
+            target: simnet::BurstTarget::Groups,
+            storm_window: 4 * epoch_len,
+        });
+        let mut r = RecoveryRunner::new(runner, schedule, RecoveryParams::default(), true, seed);
+        let mut digests = Vec::new();
+        for _ in 0..12 * epoch_len {
+            r.step(&BlockSet::none());
+            digests.push(r.runner.overlay.state_digest());
+        }
+        (digests, r.transitions().iter().map(|&(at, m)| (at, m.name())).collect())
+    })
+}
+
+#[test]
+fn recovery_transitions_are_identical_across_exec_modes() {
+    // The recovery layer's randomness comes from reserved seeded streams
+    // and the supernode overlay never instantiates a simnet engine, so
+    // even `xl:fast` — which is allowed to reorder engine work — must
+    // reproduce the digest stream and the mode-transition stream
+    // byte-identically. The mode knob cannot leak into recovery.
+    let (digests, transitions) = recovery_trace(Backend::Legacy);
+    assert!(!transitions.is_empty(), "fixture must exercise the mode machine");
+    for backend in
+        [Backend::Xl { shards: 1 }, Backend::Xl { shards: 4 }, Backend::XlFast { shards: 4 }]
+    {
+        let (d, t) = recovery_trace(backend);
+        assert_eq!(digests, d, "{backend:?}: digest stream diverged");
+        assert_eq!(transitions, t, "{backend:?}: transition stream diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Determinism of the fast mode itself (per seed and shard count)
 // ---------------------------------------------------------------------------
 
